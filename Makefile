@@ -1,0 +1,39 @@
+# Convenience targets for the JEM-mapper reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz repro repro-quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz sessions over the three fuzz targets.
+fuzz:
+	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/seq/
+	$(GO) test -fuzz FuzzDecodeTable -fuzztime 30s ./internal/sketch/
+	$(GO) test -fuzz FuzzReadTSV -fuzztime 30s .
+
+# Regenerate every table and figure (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/jem-bench -scale 0.02 -csv exhibits all | tee experiments_output.txt
+
+repro-quick:
+	$(GO) run ./cmd/jem-bench -scale 0.002 all
+
+clean:
+	rm -rf exhibits

@@ -1,0 +1,72 @@
+// Command jem-assemble builds contigs from short reads with the
+// repository's de Bruijn graph assembler (the Minia substitute).
+//
+// Usage:
+//
+//	jem-assemble -o contigs.fasta short_reads.fastq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/assemble"
+	"repro/internal/seq"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 31, "de Bruijn k-mer size")
+		minAb   = flag.Int("min-abundance", 3, "solid k-mer threshold")
+		minLen  = flag.Int("min-len", 0, "minimum contig length (0 = 2k+1)")
+		workers = flag.Int("workers", 0, "goroutines (0 = all cores)")
+		noPop   = flag.Bool("no-pop", false, "disable SNP bubble popping")
+		outPath = flag.String("o", "contigs.fasta", "output FASTA path")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jem-assemble [flags] reads.fastq...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *k, uint32(*minAb), *minLen, *workers, *noPop, *outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "jem-assemble: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, k int, minAb uint32, minLen, workers int, noPop bool, outPath string) error {
+	var reads []seq.Record
+	for _, p := range paths {
+		rs, err := seq.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		reads = append(reads, rs...)
+	}
+	start := time.Now()
+	asm, err := assemble.Assemble(reads, assemble.Config{
+		K:                    k,
+		MinAbundance:         minAb,
+		MinContigLen:         minLen,
+		Workers:              workers,
+		DisableBubblePopping: noPop,
+	})
+	if err != nil {
+		return err
+	}
+	if err := seq.WriteFASTAFile(outPath, asm.Contigs); err != nil {
+		return err
+	}
+	st := asm.Stats
+	fmt.Printf("assembled %d reads in %v\n", len(reads), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("k-mers: %d distinct, %d solid; %d bubbles popped\n", st.DistinctKmers, st.SolidKmers, st.BubblesPopped)
+	fmt.Printf("contigs: %d (%.0f +/- %.0f bp, max %d, N50 %d, total %d bp) -> %s\n",
+		st.Contigs, st.MeanLen, st.StdDevLen, st.MaxLen, st.N50, st.TotalBases, outPath)
+	return nil
+}

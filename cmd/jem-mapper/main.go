@@ -1,0 +1,172 @@
+// Command jem-mapper maps the end segments of long reads to contigs
+// using the JEM sketch, writing a TSV mapping to stdout (or -o).
+//
+// Usage:
+//
+//	jem-mapper [flags] contigs.fasta reads.fastq
+//
+// Flags mirror the paper's parameters: -k 16 -w 100 -t 30 -l 1000.
+// Pass -p N to run the simulated distributed-memory algorithm on N
+// ranks and report per-step simulated times on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 16, "k-mer size")
+		w       = flag.Int("w", 100, "minimizer window size (in k-mers)")
+		t       = flag.Int("t", 30, "number of sketch trials T")
+		l       = flag.Int("l", 1000, "end segment / interval length (bp)")
+		seed    = flag.Int64("seed", 1, "hash family seed")
+		workers = flag.Int("workers", 0, "goroutines (0 = all cores)")
+		ranks   = flag.Int("p", 0, "simulated MPI ranks (0 = shared-memory run)")
+		outPath = flag.String("o", "", "output TSV path (default stdout)")
+		paf     = flag.Bool("paf", false, "write PAF with positional estimates instead of TSV")
+		sam     = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
+		saveIdx = flag.String("save-index", "", "write the sketch index here after building")
+		loadIdx = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jem-mapper [flags] contigs.fasta reads.fastq\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers}
+	cfg := runConfig{
+		contigPath: flag.Arg(0), readPath: flag.Arg(1),
+		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
+		saveIndex: *saveIdx, loadIndex: *loadIdx, cpuProfile: *cpuProf,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	contigPath, readPath string
+	opts                 jem.Options
+	ranks                int
+	outPath              string
+	paf                  bool
+	sam                  bool
+	saveIndex, loadIndex string
+	cpuProfile           string
+}
+
+func run(cfg runConfig) error {
+	if err := cfg.opts.Validate(); err != nil {
+		return err
+	}
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	contigs, err := jem.ReadSequences(cfg.contigPath)
+	if err != nil {
+		return err
+	}
+	reads, err := jem.ReadSequences(cfg.readPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d contigs, %d reads in %v\n",
+		len(contigs), len(reads), time.Since(start).Round(time.Millisecond))
+
+	out := os.Stdout
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if cfg.ranks > 0 {
+		dout, err := jem.MapDistributed(contigs, reads, cfg.ranks, cfg.opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simulated p=%d total=%v comm=%.1f%% throughput=%.0f seg/s\n",
+			cfg.ranks, dout.Total.Round(time.Millisecond), 100*dout.CommFraction, dout.Throughput)
+		for _, st := range dout.Steps {
+			fmt.Fprintf(os.Stderr, "  %-22s %v\n", st.Name, st.Duration.Round(time.Microsecond))
+		}
+		return jem.WriteTSV(out, dout.Mappings)
+	}
+
+	var mapper *jem.Mapper
+	if cfg.loadIndex != "" {
+		f, err := os.Open(cfg.loadIndex)
+		if err != nil {
+			return err
+		}
+		mapper, err = jem.LoadMapper(f, contigs)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
+	} else {
+		mapper, err = jem.NewMapper(contigs, cfg.opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sketched subjects in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.saveIndex != "" {
+		f, err := os.Create(cfg.saveIndex)
+		if err != nil {
+			return err
+		}
+		if err := mapper.SaveIndex(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved index to %s\n", cfg.saveIndex)
+	}
+
+	mapStart := time.Now()
+	if cfg.sam {
+		vms := mapper.MapReadsVerified(reads, jem.VerifyOptions{})
+		fmt.Fprintf(os.Stderr, "verified %d segments in %v\n",
+			len(vms), time.Since(mapStart).Round(time.Millisecond))
+		return mapper.WriteSAM(out, vms, reads)
+	}
+	if cfg.paf {
+		pms := mapper.MapReadsPositional(reads)
+		fmt.Fprintf(os.Stderr, "mapped %d segments in %v\n",
+			len(pms), time.Since(mapStart).Round(time.Millisecond))
+		return mapper.WritePAF(out, pms, reads)
+	}
+	mappings := mapper.MapReads(reads)
+	fmt.Fprintf(os.Stderr, "mapped %d segments in %v\n",
+		len(mappings), time.Since(mapStart).Round(time.Millisecond))
+	return jem.WriteTSV(out, mappings)
+}

@@ -1,0 +1,95 @@
+// Command jem-stats prints assembly/read-set statistics for FASTA or
+// FASTQ files (gzip transparent): record count, total bases, min/mean/
+// max lengths, N50, N90, GC content and ambiguity fraction — the
+// numbers Table I is made of.
+//
+// Usage:
+//
+//	jem-stats contigs.fasta reads.fastq.gz ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/seq"
+	"repro/internal/stats"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jem-stats file.fasta [file2.fastq ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	t := stats.NewTable("file", "records", "bases", "min", "mean", "max", "N50", "N90", "GC%", "N%")
+	for _, path := range flag.Args() {
+		records, err := seq.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jem-stats: %v\n", err)
+			os.Exit(1)
+		}
+		row := summarize(records)
+		t.AddRow(path, row.n, row.bases, row.min, fmt.Sprintf("%.0f", row.mean), row.max,
+			row.n50, row.n90, fmt.Sprintf("%.2f", row.gc), fmt.Sprintf("%.3f", row.ambiguous))
+	}
+	fmt.Print(t.String())
+}
+
+type summary struct {
+	n, min, max, n50, n90 int
+	bases                 int64
+	mean, gc, ambiguous   float64
+}
+
+func summarize(records []seq.Record) summary {
+	var s summary
+	s.n = len(records)
+	if s.n == 0 {
+		return s
+	}
+	lens := make([]int, len(records))
+	var gcBases, validBases, ambig int64
+	s.min = len(records[0].Seq)
+	for i := range records {
+		l := len(records[i].Seq)
+		lens[i] = l
+		s.bases += int64(l)
+		if l < s.min {
+			s.min = l
+		}
+		if l > s.max {
+			s.max = l
+		}
+		valid := int64(seq.CountValid(records[i].Seq))
+		validBases += valid
+		ambig += int64(l) - valid
+		gcBases += int64(float64(valid) * seq.GC(records[i].Seq))
+	}
+	s.mean = float64(s.bases) / float64(s.n)
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	var acc int64
+	for _, l := range lens {
+		acc += int64(l)
+		if s.n50 == 0 && acc*2 >= s.bases {
+			s.n50 = l
+		}
+		if acc*10 >= 9*s.bases {
+			s.n90 = l
+			break
+		}
+	}
+	if validBases > 0 {
+		s.gc = 100 * float64(gcBases) / float64(validBases)
+	}
+	if s.bases > 0 {
+		s.ambiguous = float64(ambig) / float64(s.bases)
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package jem
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// DedupOptions configures contig deduplication.
+type DedupOptions struct {
+	// MinIdentity is the percent identity above which a contained
+	// contig is considered redundant (default 95).
+	MinIdentity float64
+	// MinCoverage is the fraction of the smaller contig that must be
+	// covered by the alignment (default 0.9).
+	MinCoverage float64
+}
+
+func (o DedupOptions) withDefaults() DedupOptions {
+	if o.MinIdentity == 0 {
+		o.MinIdentity = 95
+	}
+	if o.MinCoverage == 0 {
+		o.MinCoverage = 0.9
+	}
+	return o
+}
+
+// DeduplicateContigs removes contigs that are contained in (or
+// near-duplicates of) longer contigs, returning the kept records and
+// the indices of dropped ones (into the input slice). The paper's
+// problem statement assumes a non-redundant subject set ("negligible
+// duplication ratio"); this pass makes that assumption operational
+// for inputs from less disciplined assemblers.
+//
+// Candidates are found by sketch: each contig's tiles are mapped
+// against the full index, and a contig whose tiles consistently hit a
+// single longer contig is verified by banded alignment before being
+// dropped.
+func DeduplicateContigs(contigs []Record, opts Options, dopts DedupOptions) (kept []Record, dropped []int, err error) {
+	dopts = dopts.withDefaults()
+	mapper, err := NewMapper(contigs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := align.DefaultScoring()
+
+	type verdict struct {
+		drop bool
+	}
+	verdicts := make([]verdict, len(contigs))
+	parallel.ForEachWorker(len(contigs), opts.Workers,
+		func() *core.Session { return mapper.core.NewSession() },
+		func(sess *core.Session, i int) {
+			c := contigs[i].Seq
+			if len(c) < opts.K {
+				return
+			}
+			// Tile the contig and tally which other contigs its tiles hit.
+			tiles := sess.MapReadTiled(c, opts.SegmentLen, 0)
+			votes := map[int32]int{}
+			total := 0
+			for _, th := range tiles {
+				total++
+				if int(th.Subject) == i {
+					continue
+				}
+				votes[th.Subject]++
+			}
+			if total == 0 {
+				return
+			}
+			// A containment candidate must absorb most tiles.
+			bestD, bestVotes := int32(-1), 0
+			for d, v := range votes {
+				if v > bestVotes || (v == bestVotes && d < bestD) {
+					bestD, bestVotes = d, v
+				}
+			}
+			if bestD < 0 || bestVotes*10 < total*8 {
+				return
+			}
+			// Never drop the longer of the pair; break length ties by
+			// index so exactly one of two identical contigs survives.
+			li, ld := len(c), len(contigs[bestD].Seq)
+			if li > ld || (li == ld && i < int(bestD)) {
+				return
+			}
+			// Verify by alignment. Fit alignment consumes all of c, so
+			// coverage is measured as the fraction of c's bases that
+			// land in aligned (non-gap) columns.
+			res := align.FastIdentity(c, contigs[bestD].Seq, sc, 64)
+			covered := float64(res.Matches+res.Mismatches) / float64(len(c))
+			if res.PercentIdentity() >= dopts.MinIdentity && covered >= dopts.MinCoverage {
+				verdicts[i].drop = true
+			}
+		})
+
+	for i := range contigs {
+		if verdicts[i].drop {
+			dropped = append(dropped, i)
+		} else {
+			kept = append(kept, contigs[i])
+		}
+	}
+	sort.Ints(dropped)
+	return kept, dropped, nil
+}

@@ -1,0 +1,92 @@
+package jem_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestDeduplicateContigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	bases := []byte("ACGT")
+	dna := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		return s
+	}
+	big1 := dna(20_000)
+	big2 := dna(20_000)
+	contained := append([]byte(nil), big1[5_000:9_000]...) // exact containment
+	nearDup := append([]byte(nil), big2...)                // near-duplicate of big2
+	for i := 0; i < len(nearDup); i += 997 {
+		nearDup[i] = bases[rng.Intn(4)]
+	}
+	unique := dna(6_000)
+
+	contigs := []jem.Record{
+		{ID: "big1", Seq: big1},
+		{ID: "big2", Seq: big2},
+		{ID: "contained", Seq: contained},
+		{ID: "neardup", Seq: nearDup},
+		{ID: "unique", Seq: unique},
+	}
+	kept, dropped, err := jem.DeduplicateContigs(contigs, jem.DefaultOptions(), jem.DedupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptIDs := map[string]bool{}
+	for _, r := range kept {
+		keptIDs[r.ID] = true
+	}
+	if !keptIDs["big1"] || !keptIDs["big2"] || !keptIDs["unique"] {
+		t.Errorf("dropped a non-redundant contig; kept = %v", keptIDs)
+	}
+	if keptIDs["contained"] {
+		t.Error("contained contig survived")
+	}
+	if keptIDs["neardup"] {
+		t.Error("near-duplicate survived")
+	}
+	if len(dropped) != 2 {
+		t.Errorf("dropped = %v", dropped)
+	}
+}
+
+func TestDeduplicateKeepsOneOfIdenticalPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	bases := []byte("ACGT")
+	s := make([]byte, 8000)
+	for i := range s {
+		s[i] = bases[rng.Intn(4)]
+	}
+	contigs := []jem.Record{
+		{ID: "a", Seq: s},
+		{ID: "b", Seq: append([]byte(nil), s...)},
+	}
+	kept, dropped, err := jem.DeduplicateContigs(contigs, jem.DefaultOptions(), jem.DedupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || len(dropped) != 1 {
+		t.Fatalf("kept %d dropped %d", len(kept), len(dropped))
+	}
+}
+
+func TestDeduplicateNoFalsePositivesOnAssembly(t *testing.T) {
+	// A real (error-free-ish) assembly from a non-repetitive genome
+	// should lose almost nothing.
+	ds := buildSmallDataset(t)
+	kept, dropped, err := jem.DeduplicateContigs(ds.Contigs, jem.DefaultOptions(), jem.DedupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) > len(ds.Contigs)/10 {
+		t.Errorf("dedup dropped %d of %d contigs from a clean assembly", len(dropped), len(ds.Contigs))
+	}
+	if len(kept)+len(dropped) != len(ds.Contigs) {
+		t.Error("kept+dropped != total")
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: synthesize a small hybrid dataset, map the long-read end
+// segments to the contigs with JEM-mapper, and evaluate the mapping
+// against ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// 1. Synthesize a dataset: a 500 kbp genome, Illumina reads
+	// assembled into contigs, and 10x HiFi long reads.
+	ds, err := jem.Synthesize(jem.SynthesisConfig{
+		Name:           "quickstart",
+		GenomeLength:   500_000,
+		RepeatFraction: 0.10,
+		Seed:           7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d contigs (N50 %d bp), %d long reads\n",
+		len(ds.Contigs), ds.AssemblyStats.N50, len(ds.Reads))
+
+	// 2. Index the contigs with the paper's default parameters
+	// (k=16, w=100, T=30, l=1000).
+	opts := jem.DefaultOptions()
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Map both end segments of every long read.
+	mappings := mapper.MapReads(ds.Reads)
+	mapped := 0
+	for _, m := range mappings {
+		if m.Mapped {
+			mapped++
+		}
+	}
+	fmt.Printf("mapped %d/%d end segments\n", mapped, len(mappings))
+	for _, m := range mappings[:min(5, len(mappings))] {
+		if m.Mapped {
+			fmt.Printf("  %s %s -> %s (shared trials %d)\n", m.ReadID, m.End, m.ContigID, m.SharedTrials)
+		} else {
+			fmt.Printf("  %s %s -> unmapped\n", m.ReadID, m.End)
+		}
+	}
+
+	// 4. Score against the ground-truth benchmark (the reads carry
+	// their true genome coordinates).
+	bench, err := jem.BuildBenchmark(ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := bench.Evaluate(mappings)
+	fmt.Printf("precision %.4f, recall %.4f (TP=%d FP=%d FN=%d TN=%d)\n",
+		q.Precision, q.Recall, q.TP, q.FP, q.FN, q.TN)
+
+	// 5. Write the mapping as TSV, the on-disk interchange format.
+	if err := jem.WriteTSV(os.Stdout, mappings[:min(3, len(mappings))]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+// Scaffolding: the end-to-end hybrid workflow that motivates the
+// paper. A draft short-read assembly is extended with long reads:
+// reads whose two end segments map to different contigs witness
+// contig adjacencies, and chaining those links yields scaffolds that
+// span assembly gaps.
+//
+//	go run ./examples/scaffolding
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	// A moderately repetitive genome fragments the short-read
+	// assembly, which is exactly when scaffolding pays off.
+	ds, err := jem.Synthesize(jem.SynthesisConfig{
+		Name:           "scaffolding",
+		GenomeLength:   800_000,
+		RepeatFraction: 0.20,
+		HiFiCoverage:   12,
+		Seed:           11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("draft assembly: %d contigs, N50 %d bp, %d bp total\n",
+		len(ds.Contigs), ds.AssemblyStats.N50, ds.AssemblyStats.TotalBases)
+
+	opts := jem.DefaultOptions()
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mappings := mapper.MapReads(ds.Reads)
+
+	// Chain contigs through reads bridging two different contigs.
+	// Requiring >=2 supporting reads suppresses chimeric links.
+	scaffolds := jem.BuildScaffolds(mappings, len(ds.Contigs), 2)
+	sort.Slice(scaffolds, func(i, j int) bool {
+		return len(scaffolds[i].Contigs) > len(scaffolds[j].Contigs)
+	})
+
+	inChains := 0
+	var longestSpan int64
+	for _, sc := range scaffolds {
+		inChains += len(sc.Contigs)
+		var span int64
+		for _, c := range sc.Contigs {
+			span += int64(len(ds.Contigs[c].Seq))
+		}
+		if span > longestSpan {
+			longestSpan = span
+		}
+	}
+	fmt.Printf("scaffolds: %d chains covering %d contigs; longest spans %d bp\n",
+		len(scaffolds), inChains, longestSpan)
+	for i, sc := range scaffolds[:min(3, len(scaffolds))] {
+		fmt.Printf("  scaffold %d: %d contigs:", i, len(sc.Contigs))
+		for _, c := range sc.Contigs[:min(8, len(sc.Contigs))] {
+			fmt.Printf(" %s", ds.Contigs[c].ID)
+		}
+		if len(sc.Contigs) > 8 {
+			fmt.Printf(" ...")
+		}
+		fmt.Println()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

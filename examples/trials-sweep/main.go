@@ -1,0 +1,53 @@
+// Trials sweep: the Fig. 6 experiment as library code. Sweeps the
+// number of random trials T and compares the JEM interval sketch
+// against classical whole-sequence MinHash, showing why the interval
+// constraint lets JEM-mapper converge with far fewer trials.
+//
+//	go run ./examples/trials-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	ds, err := jem.Synthesize(jem.SynthesisConfig{
+		Name:           "sweep",
+		GenomeLength:   600_000,
+		RepeatFraction: 0.25,
+		Seed:           23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := jem.DefaultOptions()
+	bench, err := jem.BuildBenchmark(ds, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%4s  %12s %12s  %12s %12s\n", "T", "JEM prec", "JEM recall", "MinHash prec", "MinHash recall")
+	for _, T := range []int{5, 10, 20, 30, 50, 100} {
+		opts := base
+		opts.Trials = T
+
+		mapper, err := jem.NewMapper(ds.Contigs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jq := bench.Evaluate(mapper.MapReads(ds.Reads))
+
+		mh, err := jem.NewMinHashMapper(ds.Contigs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cq := bench.Evaluate(mh.MapReads(ds.Reads))
+
+		fmt.Printf("%4d  %12.4f %12.4f  %12.4f %12.4f\n",
+			T, jq.Precision, jq.Recall, cq.Precision, cq.Recall)
+	}
+	fmt.Println("\nJEM saturates by T~20-30; classical MinHash needs many times more trials.")
+}

@@ -1,0 +1,250 @@
+package assemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kmer"
+	"repro/internal/seq"
+)
+
+// Config configures the assembler.
+type Config struct {
+	// K is the de Bruijn k-mer size; 0 means 31.
+	K int
+	// MinAbundance is the solidity threshold: k-mers seen fewer times
+	// are treated as sequencing errors; 0 means 3.
+	MinAbundance uint32
+	// MinContigLen drops unitigs shorter than this many bases; 0
+	// means 2k+1 (branch stubs).
+	MinContigLen int
+	// Workers bounds parallelism; ≤0 means GOMAXPROCS.
+	Workers int
+	// DisableBubblePopping keeps SNP bubbles (two equal-length paths
+	// between the same branch and merge nodes, the signature of a
+	// heterozygous site or a recurrent sequencing error) instead of
+	// collapsing them to the higher-coverage path.
+	DisableBubblePopping bool
+	// NamePrefix prefixes contig IDs; "" means "contig".
+	NamePrefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 31
+	}
+	if c.MinAbundance == 0 {
+		c.MinAbundance = 3
+	}
+	if c.MinContigLen == 0 {
+		c.MinContigLen = 2*c.K + 1
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "contig"
+	}
+	return c
+}
+
+// Validate checks config sanity.
+func (c Config) Validate() error {
+	if c.K < 0 || c.K > kmer.MaxK {
+		return fmt.Errorf("assemble: k=%d out of range [1,%d]", c.K, kmer.MaxK)
+	}
+	return nil
+}
+
+// Stats summarizes an assembly.
+type Stats struct {
+	DistinctKmers int
+	SolidKmers    int
+	BubblesPopped int
+	Contigs       int
+	TotalBases    int64
+	MeanLen       float64
+	StdDevLen     float64
+	MaxLen        int
+	N50           int
+}
+
+// graph is the implicit de Bruijn graph over the solid canonical
+// k-mer set (with multiplicities, used by bubble popping).
+// Orientation is explicit: a node visit is a k-mer Word in a specific
+// strand; membership tests canonicalize.
+type graph struct {
+	k     int
+	mask  kmer.Word
+	nodes map[kmer.Word]uint32
+}
+
+func (g *graph) has(oriented kmer.Word) bool {
+	_, ok := g.nodes[kmer.Canonical(oriented, g.k)]
+	return ok
+}
+
+func (g *graph) coverage(oriented kmer.Word) uint32 {
+	return g.nodes[kmer.Canonical(oriented, g.k)]
+}
+
+// fwdNexts appends to dst the oriented successors of w (append last
+// base), returning the extended slice.
+func (g *graph) fwdNexts(dst []kmer.Word, w kmer.Word) []kmer.Word {
+	base := (w << 2) & g.mask
+	for b := kmer.Word(0); b < 4; b++ {
+		if g.has(base | b) {
+			dst = append(dst, base|b)
+		}
+	}
+	return dst
+}
+
+// bwdNexts appends the oriented predecessors of w (prepend first base).
+func (g *graph) bwdNexts(dst []kmer.Word, w kmer.Word) []kmer.Word {
+	base := w >> 2
+	shift := 2 * uint(g.k-1)
+	for b := kmer.Word(0); b < 4; b++ {
+		cand := base | b<<shift
+		if g.has(cand) {
+			dst = append(dst, cand)
+		}
+	}
+	return dst
+}
+
+// Assembly is the assembler output.
+type Assembly struct {
+	Contigs []seq.Record
+	Stats   Stats
+}
+
+// Assemble builds contigs from short reads.
+func Assemble(reads []seq.Record, c Config) (*Assembly, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+
+	counts := countKmers(reads, c.K, c.Workers)
+	distinct := counts.distinct()
+	solid := counts.solidCounts(c.MinAbundance)
+	g := &graph{k: c.K, mask: kmer.Mask(c.K), nodes: solid}
+
+	popped := 0
+	if !c.DisableBubblePopping {
+		popped = popBubbles(g)
+	}
+	contigs := extractUnitigs(g, c)
+	st := summarize(contigs)
+	st.DistinctKmers = distinct
+	st.SolidKmers = len(solid)
+	st.BubblesPopped = popped
+	return &Assembly{Contigs: contigs, Stats: st}, nil
+}
+
+// extractUnitigs walks maximal non-branching paths over the solid set.
+// Every canonical k-mer belongs to exactly one unitig; traversal order
+// is made deterministic by seeding walks from the sorted node list.
+func extractUnitigs(g *graph, c Config) []seq.Record {
+	order := make([]kmer.Word, 0, len(g.nodes))
+	for w := range g.nodes {
+		order = append(order, w)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	visited := make(map[kmer.Word]struct{}, len(g.nodes))
+	var contigs []seq.Record
+	var scratch [4]kmer.Word
+
+	for _, canon := range order {
+		if _, ok := visited[canon]; ok {
+			continue
+		}
+		visited[canon] = struct{}{}
+		// Grow forward from the canonical orientation...
+		fwdBases := walk(g, visited, canon, scratch[:0])
+		// ...and forward from the reverse-complement orientation,
+		// which extends the unitig leftward.
+		rc := kmer.ReverseComplement(canon, g.k)
+		bwdBases := walk(g, visited, rc, scratch[:0])
+
+		// Assemble: revcomp(bwdBases) + seed + fwdBases.
+		seqLen := len(bwdBases) + g.k + len(fwdBases)
+		if seqLen < c.MinContigLen {
+			continue
+		}
+		buf := make([]byte, 0, seqLen)
+		for i := len(bwdBases) - 1; i >= 0; i-- {
+			buf = append(buf, seq.Complement(bwdBases[i]))
+		}
+		buf = append(buf, kmer.Decode(canon, g.k)...)
+		buf = append(buf, fwdBases...)
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("%s_%d", c.NamePrefix, len(contigs)),
+			Seq: buf,
+		})
+	}
+	return contigs
+}
+
+// walk extends forward from oriented k-mer w through the unique-path
+// region, marking nodes visited, and returns the appended bases.
+func walk(g *graph, visited map[kmer.Word]struct{}, w kmer.Word, scratch []kmer.Word) []byte {
+	var bases []byte
+	cur := w
+	for {
+		nexts := g.fwdNexts(scratch[:0], cur)
+		if len(nexts) != 1 {
+			return bases
+		}
+		next := nexts[0]
+		// The successor must have a unique predecessor (us); otherwise
+		// it's a merge point and belongs to another unitig.
+		preds := g.bwdNexts(scratch[:0], next)
+		if len(preds) != 1 {
+			return bases
+		}
+		ncanon := kmer.Canonical(next, g.k)
+		if _, ok := visited[ncanon]; ok {
+			return bases // cycle or already claimed
+		}
+		visited[ncanon] = struct{}{}
+		bases = append(bases, seq.Base(byte(next&3)))
+		cur = next
+	}
+}
+
+// summarize computes contig statistics.
+func summarize(contigs []seq.Record) Stats {
+	st := Stats{Contigs: len(contigs)}
+	if len(contigs) == 0 {
+		return st
+	}
+	lens := make([]int, len(contigs))
+	var sum, sumsq float64
+	for i := range contigs {
+		l := len(contigs[i].Seq)
+		lens[i] = l
+		st.TotalBases += int64(l)
+		sum += float64(l)
+		sumsq += float64(l) * float64(l)
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+	}
+	n := float64(len(contigs))
+	st.MeanLen = sum / n
+	variance := sumsq/n - st.MeanLen*st.MeanLen
+	if variance > 0 {
+		st.StdDevLen = math.Sqrt(variance)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	var acc int64
+	for _, l := range lens {
+		acc += int64(l)
+		if acc*2 >= st.TotalBases {
+			st.N50 = l
+			break
+		}
+	}
+	return st
+}

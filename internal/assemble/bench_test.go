@@ -1,0 +1,55 @@
+package assemble
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func benchReads(b *testing.B, genomeLen int, het float64) []seq.Record {
+	b.Helper()
+	g, err := genome.Generate(genome.Config{Length: genomeLen, Heterozygosity: het, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := simulate.Illumina(g.Records, simulate.IlluminaConfig{Coverage: 25, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := simulate.Records(reads)
+	if g.Haplotype2 != nil {
+		r2, err := simulate.Illumina(g.Haplotype2, simulate.IlluminaConfig{Coverage: 12, Seed: 3, NamePrefix: "sr2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, simulate.Records(r2)...)
+	}
+	return out
+}
+
+func BenchmarkAssembleHaploid(b *testing.B) {
+	reads := benchReads(b, 300_000, 0)
+	var bases int64
+	for i := range reads {
+		bases += int64(len(reads[i].Seq))
+	}
+	b.SetBytes(bases)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(reads, Config{K: 25, MinAbundance: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembleDiploid(b *testing.B) {
+	reads := benchReads(b, 200_000, 0.004)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(reads, Config{K: 25, MinAbundance: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

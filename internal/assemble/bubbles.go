@@ -1,0 +1,130 @@
+package assemble
+
+import (
+	"sort"
+
+	"repro/internal/kmer"
+)
+
+// popBubbles collapses simple bubbles: a branch node with exactly two
+// oriented successors whose unique paths reconverge at the same node
+// after the same number of steps — the de Bruijn signature of a
+// heterozygous SNP (paths of exactly k interior nodes) or a recurrent
+// sequencing error. The lower-coverage path's interior nodes are
+// deleted, leaving the higher-coverage allele as a single unitig.
+// It returns the number of bubbles popped.
+//
+// Only clean bubbles are popped: every interior node must have in- and
+// out-degree 1 and the two paths must be node-disjoint, so genuine
+// repeat structure (unequal lengths, internal branching) is left
+// alone.
+func popBubbles(g *graph) int {
+	order := make([]kmer.Word, 0, len(g.nodes))
+	for w := range g.nodes {
+		order = append(order, w)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	// An SNP bubble's interior is exactly k nodes; allow a little
+	// slack for adjacent variants.
+	maxSteps := g.k + 8
+	popped := 0
+	var scratch [4]kmer.Word
+	for _, canon := range order {
+		if _, ok := g.nodes[canon]; !ok {
+			continue // deleted by an earlier pop
+		}
+		for _, oriented := range [2]kmer.Word{canon, kmer.ReverseComplement(canon, g.k)} {
+			nexts := g.fwdNexts(scratch[:0], oriented)
+			if len(nexts) != 2 {
+				continue
+			}
+			pathA, endA, okA := bubblePath(g, nexts[0], maxSteps)
+			if !okA {
+				continue
+			}
+			pathB, endB, okB := bubblePath(g, nexts[1], maxSteps)
+			if !okB {
+				continue
+			}
+			if len(pathA) != len(pathB) || len(pathA) == 0 {
+				continue
+			}
+			if kmer.Canonical(endA, g.k) != kmer.Canonical(endB, g.k) {
+				continue
+			}
+			if !disjoint(g, pathA, pathB) {
+				continue
+			}
+			// Drop the lower-coverage allele; ties break toward
+			// keeping the path with the smaller first canonical node,
+			// so popping is deterministic.
+			covA, covB := meanCoverage(g, pathA), meanCoverage(g, pathB)
+			drop := pathB
+			if covA < covB ||
+				(covA == covB && kmer.Canonical(pathA[0], g.k) > kmer.Canonical(pathB[0], g.k)) {
+				drop = pathA
+			}
+			for _, n := range drop {
+				delete(g.nodes, kmer.Canonical(n, g.k))
+			}
+			popped++
+		}
+	}
+	return popped
+}
+
+// bubblePath walks forward from an oriented node through interior
+// nodes (in-degree and out-degree exactly 1) until it reaches a
+// reconvergence node (in-degree ≥ 2). It returns the interior path
+// (starting at `start` itself) and the merge node.
+func bubblePath(g *graph, start kmer.Word, maxSteps int) (path []kmer.Word, end kmer.Word, ok bool) {
+	var scratch [4]kmer.Word
+	cur := start
+	// The start node itself must be interior: a single predecessor
+	// (the branch node) — otherwise this is not a clean bubble arm.
+	if len(g.bwdNexts(scratch[:0], cur)) != 1 {
+		return nil, 0, false
+	}
+	path = append(path, cur)
+	for step := 0; step < maxSteps; step++ {
+		nexts := g.fwdNexts(scratch[:0], cur)
+		if len(nexts) != 1 {
+			return nil, 0, false
+		}
+		nxt := nexts[0]
+		indeg := len(g.bwdNexts(scratch[:0], nxt))
+		if indeg >= 2 {
+			return path, nxt, true
+		}
+		if indeg != 1 {
+			return nil, 0, false
+		}
+		path = append(path, nxt)
+		cur = nxt
+	}
+	return nil, 0, false
+}
+
+// disjoint reports whether the two paths share no canonical node.
+func disjoint(g *graph, a, b []kmer.Word) bool {
+	seen := make(map[kmer.Word]struct{}, len(a))
+	for _, n := range a {
+		seen[kmer.Canonical(n, g.k)] = struct{}{}
+	}
+	for _, n := range b {
+		if _, dup := seen[kmer.Canonical(n, g.k)]; dup {
+			return false
+		}
+	}
+	return true
+}
+
+// meanCoverage averages the multiplicities along a path.
+func meanCoverage(g *graph, path []kmer.Word) uint32 {
+	var sum uint64
+	for _, n := range path {
+		sum += uint64(g.coverage(n))
+	}
+	return uint32(sum / uint64(len(path)))
+}

@@ -1,0 +1,179 @@
+package assemble
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// TestPopSingleSNPBubble constructs the textbook case: reads from two
+// haplotypes differing at one SNP. Without popping, the assembly
+// breaks at the site; with popping, one contig spans it.
+func TestPopSingleSNPBubble(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 4000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hap1 := g.Seq
+	hap2 := append([]byte(nil), hap1...)
+	pos := 2000
+	if hap2[pos] == 'A' {
+		hap2[pos] = 'C'
+	} else {
+		hap2[pos] = 'A'
+	}
+	// Tile error-free reads off both haplotypes, hap1 at higher depth
+	// so the pop keeps it.
+	var reads []seq.Record
+	add := func(h []byte, copies int) {
+		for c := 0; c < copies; c++ {
+			for i := 0; i+100 <= len(h); i += 10 {
+				reads = append(reads, seq.Record{
+					ID:  fmt.Sprintf("r%d", len(reads)),
+					Seq: h[i : i+100],
+				})
+			}
+		}
+	}
+	add(hap1, 3)
+	add(hap2, 1)
+
+	cfg := Config{K: 21, MinAbundance: 2}
+	popped, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableBubblePopping = true
+	kept, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popped.Stats.BubblesPopped < 1 {
+		t.Fatalf("no bubbles popped: %+v", popped.Stats)
+	}
+	if kept.Stats.BubblesPopped != 0 {
+		t.Fatalf("popping ran while disabled")
+	}
+	if popped.Stats.Contigs >= kept.Stats.Contigs {
+		t.Errorf("popping did not reduce fragmentation: %d vs %d contigs",
+			popped.Stats.Contigs, kept.Stats.Contigs)
+	}
+	// The popped assembly must contain a contig spanning the SNP site
+	// with the kept (higher-coverage) allele — i.e. a substring of
+	// hap1 crossing position 2000.
+	spans := false
+	for _, c := range popped.Contigs {
+		if idx := bytes.Index(hap1, c.Seq); idx >= 0 {
+			if idx < pos-50 && idx+len(c.Seq) > pos+50 {
+				spans = true
+			}
+			continue
+		}
+		if idx := bytes.Index(hap1, seq.ReverseComplement(c.Seq)); idx >= 0 {
+			if idx < pos-50 && idx+len(c.Seq) > pos+50 {
+				spans = true
+			}
+			continue
+		}
+		t.Fatalf("popped contig %s is not a hap1 substring", c.ID)
+	}
+	if !spans {
+		t.Error("no popped contig spans the SNP site")
+	}
+}
+
+// TestDiploidAssemblyBenefitsFromPopping runs the realistic version:
+// a heterozygous diploid genome sequenced from both haplotypes.
+func TestDiploidAssemblyBenefitsFromPopping(t *testing.T) {
+	g, err := genome.Generate(genome.Config{
+		Length: 80_000, Heterozygosity: 0.003, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Haplotype2 == nil {
+		t.Fatal("no second haplotype generated")
+	}
+	r1, err := simulate.Illumina(g.Records, simulate.IlluminaConfig{Coverage: 20, ErrorRate: -1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := simulate.Illumina(g.Haplotype2, simulate.IlluminaConfig{Coverage: 12, ErrorRate: -1, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := append(simulate.Records(r1), simulate.Records(r2)...)
+
+	cfg := Config{K: 21, MinAbundance: 2}
+	withPop, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableBubblePopping = true
+	noPop, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("popping: %d bubbles popped, %d contigs N50 %d; without: %d contigs N50 %d",
+		withPop.Stats.BubblesPopped, withPop.Stats.Contigs, withPop.Stats.N50,
+		noPop.Stats.Contigs, noPop.Stats.N50)
+	if withPop.Stats.BubblesPopped < 10 {
+		t.Errorf("expected many SNP bubbles, popped %d", withPop.Stats.BubblesPopped)
+	}
+	if withPop.Stats.N50 <= noPop.Stats.N50 {
+		t.Errorf("popping should improve N50: %d vs %d", withPop.Stats.N50, noPop.Stats.N50)
+	}
+	if withPop.Stats.Contigs >= noPop.Stats.Contigs {
+		t.Errorf("popping should reduce contig count: %d vs %d",
+			withPop.Stats.Contigs, noPop.Stats.Contigs)
+	}
+}
+
+// TestHaploidAssemblyUnchangedByPopping ensures popping is a no-op on
+// clean haploid data (no false bubbles on random sequence).
+func TestHaploidAssemblyUnchangedByPopping(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 50_000, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := simulate.Illumina(g.Records, simulate.IlluminaConfig{Coverage: 20, ErrorRate: -1, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 21, MinAbundance: 2}
+	a, err := Assemble(simulate.Records(reads), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.BubblesPopped != 0 {
+		t.Errorf("popped %d bubbles on haploid error-free data", a.Stats.BubblesPopped)
+	}
+}
+
+// TestHeterozygosityValidation covers the new genome knob.
+func TestHeterozygosityValidation(t *testing.T) {
+	if _, err := genome.Generate(genome.Config{Length: 1000, Heterozygosity: 0.5}); err == nil {
+		t.Error("absurd heterozygosity should fail")
+	}
+	g, err := genome.Generate(genome.Config{Length: 10_000, Heterozygosity: 0.01, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Haplotype2) != len(g.Records) {
+		t.Fatalf("haplotype2 records = %d", len(g.Haplotype2))
+	}
+	diff := 0
+	for i := range g.Seq {
+		if g.Seq[i] != g.Haplotype2[0].Seq[i] {
+			diff++
+		}
+	}
+	rate := float64(diff) / float64(len(g.Seq))
+	if rate < 0.005 || rate > 0.015 {
+		t.Errorf("observed het rate %v want ~0.01", rate)
+	}
+}

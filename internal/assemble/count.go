@@ -1,0 +1,135 @@
+// Package assemble implements a de Bruijn graph contig assembler for
+// short reads, substituting for the Minia assembler the paper used to
+// build its subject sets. It counts canonical k-mers, filters to
+// "solid" k-mers above an abundance threshold (discarding sequencing
+// errors), and emits unitigs — maximal non-branching paths — as
+// contigs. The output has the statistical character the mapping layer
+// cares about: many contigs with highly variable lengths covering most
+// of the genome.
+package assemble
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/kmer"
+	"repro/internal/seq"
+)
+
+// countShards is the number of independent k-mer count maps; a power
+// of two so shard selection is a mask.
+const countShards = 64
+
+// counter is a sharded canonical-k-mer multiplicity counter safe for
+// concurrent batch updates.
+type counter struct {
+	shards [countShards]map[kmer.Word]uint32
+	locks  [countShards]sync.Mutex
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	for i := range c.shards {
+		c.shards[i] = make(map[kmer.Word]uint32)
+	}
+	return c
+}
+
+func shardOf(w kmer.Word) int {
+	// Mix the bits so consecutive k-mers spread across shards.
+	x := uint64(w)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x & (countShards - 1))
+}
+
+// addBatch folds a batch of canonical k-mers into the shard maps.
+func (c *counter) addBatch(batch [][]kmer.Word) {
+	for s := range batch {
+		if len(batch[s]) == 0 {
+			continue
+		}
+		c.locks[s].Lock()
+		m := c.shards[s]
+		for _, w := range batch[s] {
+			m[w]++
+		}
+		c.locks[s].Unlock()
+	}
+}
+
+// distinct returns the number of distinct k-mers counted.
+func (c *counter) distinct() int {
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i])
+	}
+	return n
+}
+
+// solidCounts returns the k-mers with count ≥ minAbundance and their
+// multiplicities (the de Bruijn node set with coverage, which bubble
+// popping consults).
+func (c *counter) solidCounts(minAbundance uint32) map[kmer.Word]uint32 {
+	out := make(map[kmer.Word]uint32, c.distinct()/2)
+	for i := range c.shards {
+		for w, n := range c.shards[i] {
+			if n >= minAbundance {
+				out[w] = n
+			}
+		}
+	}
+	return out
+}
+
+// countKmers counts canonical k-mers of all reads using `workers`
+// goroutines.
+func countKmers(reads []seq.Record, k, workers int) *counter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := newCounter()
+	var wg sync.WaitGroup
+	idx := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([][]kmer.Word, countShards)
+			for i := range batch {
+				batch[i] = make([]kmer.Word, 0, 512)
+			}
+			pending := 0
+			flush := func() {
+				c.addBatch(batch)
+				for i := range batch {
+					batch[i] = batch[i][:0]
+				}
+				pending = 0
+			}
+			for i := range idx {
+				it := kmer.NewIterator(reads[i].Seq, k)
+				for {
+					_, canon, _, ok := it.Next()
+					if !ok {
+						break
+					}
+					s := shardOf(canon)
+					batch[s] = append(batch[s], canon)
+					pending++
+					if pending >= 1<<15 {
+						flush()
+					}
+				}
+			}
+			flush()
+		}()
+	}
+	for i := range reads {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return c
+}

@@ -1,0 +1,562 @@
+// Package core implements JEM-mapper (the paper's primary
+// contribution): Algorithm 2, mapping long-read end segments to
+// contigs through the minimizer-based Jaccard estimator sketch of
+// Algorithm 1.
+//
+// The flow mirrors the paper's steps: subjects (contigs) are sketched
+// and inserted into a per-trial sketch table; each query (a ℓ-long end
+// segment of a long read) is sketched, its T per-trial words are
+// looked up, the subjects hit across trials are counted with the
+// lazy-update counter array of §III-C, and the most frequent subject
+// is reported as the best hit.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+// SegmentKind distinguishes the two end segments of a long read.
+type SegmentKind uint8
+
+const (
+	// Prefix is the first ℓ bases of a read.
+	Prefix SegmentKind = iota
+	// Suffix is the last ℓ bases of a read.
+	Suffix
+)
+
+func (k SegmentKind) String() string {
+	if k == Prefix {
+		return "prefix"
+	}
+	return "suffix"
+}
+
+// Hit is one candidate subject for a query with its trial-hit count.
+type Hit struct {
+	Subject int32
+	Count   int32
+}
+
+// Result records the mapping of one end segment.
+type Result struct {
+	ReadIndex int32       // index of the read in the query set
+	Kind      SegmentKind // which end
+	Subject   int32       // best-hit subject id, -1 when unmapped
+	Count     int32       // number of trials that hit the best subject
+}
+
+// Mapped reports whether the segment found any subject.
+func (r Result) Mapped() bool { return r.Subject >= 0 }
+
+// SubjectMeta is what the mapper retains about each subject.
+type SubjectMeta struct {
+	Name   string
+	Length int32
+}
+
+// Mapper holds the sketch table over a subject set.
+type Mapper struct {
+	sk       *sketch.Sketcher
+	table    *sketch.Table
+	frozen   *sketch.FrozenTable
+	subjects []SubjectMeta
+}
+
+// NewMapper creates a Mapper with the given sketch parameters.
+func NewMapper(p sketch.Params) (*Mapper, error) {
+	sk, err := sketch.NewSketcher(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{sk: sk, table: sketch.NewTable(p.T)}, nil
+}
+
+// Sketcher exposes the underlying sketcher (shared with baselines and
+// the distributed driver).
+func (m *Mapper) Sketcher() *sketch.Sketcher { return m.sk }
+
+// Table exposes the mutable sketch table (used by the distributed
+// driver's gather step and by table-size statistics).
+func (m *Mapper) Table() *sketch.Table { return m.table }
+
+// SetFrozen installs a frozen (sorted-array) global table; subsequent
+// lookups use it instead of the mutable hash table. The distributed
+// driver builds it straight from the allgathered payloads.
+func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) { m.frozen = ft }
+
+// lookup dispatches to the frozen table when one is installed.
+func (m *Mapper) lookup(t int, w sketch.Word) []sketch.Posting {
+	if m.frozen != nil {
+		return m.frozen.Lookup(t, w)
+	}
+	return m.table.Lookup(t, w)
+}
+
+// NumSubjects returns the number of subjects indexed so far.
+func (m *Mapper) NumSubjects() int { return len(m.subjects) }
+
+// Subject returns metadata for subject id.
+func (m *Mapper) Subject(id int32) SubjectMeta { return m.subjects[id] }
+
+// AddSubjects sketches and indexes contigs sequentially. Subject ids
+// are assigned densely in input order, continuing from any previously
+// added subjects.
+func (m *Mapper) AddSubjects(contigs []seq.Record) {
+	for i := range contigs {
+		id := int32(len(m.subjects))
+		m.subjects = append(m.subjects, SubjectMeta{Name: contigs[i].ID, Length: int32(len(contigs[i].Seq))})
+		words, anchors := m.sk.SubjectSketchPositional(contigs[i].Seq)
+		m.table.InsertPositional(id, words, anchors)
+	}
+}
+
+// AddSubjectsParallel sketches contigs with the given number of
+// workers (≤0 means GOMAXPROCS) and inserts them in input order, so
+// results are identical to AddSubjects.
+func (m *Mapper) AddSubjectsParallel(contigs []seq.Record, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(contigs) < 2 {
+		m.AddSubjects(contigs)
+		return
+	}
+	sketches := make([][][]sketch.Word, len(contigs))
+	anchors := make([][][]int32, len(contigs))
+	var wg sync.WaitGroup
+	next := make(chan int, len(contigs))
+	for i := range contigs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sketches[i], anchors[i] = m.sk.SubjectSketchPositional(contigs[i].Seq)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range contigs {
+		id := int32(len(m.subjects))
+		m.subjects = append(m.subjects, SubjectMeta{Name: contigs[i].ID, Length: int32(len(contigs[i].Seq))})
+		m.table.InsertPositional(id, sketches[i], anchors[i])
+	}
+}
+
+// RegisterSubjects records subject metadata without sketching,
+// assigning dense ids in input order. The distributed driver uses this
+// on every rank (metadata is small and replicated) while the sketch
+// table itself is built per-rank and merged via MergeTable.
+func (m *Mapper) RegisterSubjects(contigs []seq.Record) {
+	for i := range contigs {
+		m.subjects = append(m.subjects, SubjectMeta{Name: contigs[i].ID, Length: int32(len(contigs[i].Seq))})
+	}
+}
+
+// MergeTable folds an externally built per-rank table into the
+// mapper's global table (the union step S3 of Algorithm 2's
+// parallelization).
+func (m *Mapper) MergeTable(tb *sketch.Table) {
+	m.table.Merge(tb)
+}
+
+// Session carries the per-worker lazy-update counter state of §III-C:
+// an array A[1..n] of ⟨count u, query id v⟩ tuples. A counter is valid
+// for the current query only when its stored query id matches, which
+// avoids resetting n counters per query. Sessions are cheap relative
+// to the table and are NOT safe for concurrent use; create one per
+// goroutine.
+type Session struct {
+	m     *Mapper
+	count []int32
+	lastq []int32
+	qid   int32
+	cand  []int32 // subjects touched by the current query
+}
+
+// NewSession creates a mapping session over the mapper's current
+// subject set. The mapper must not gain subjects while sessions exist.
+func (m *Mapper) NewSession() *Session {
+	n := len(m.subjects)
+	s := &Session{
+		m:     m,
+		count: make([]int32, n),
+		lastq: make([]int32, n),
+		qid:   0,
+	}
+	for i := range s.lastq {
+		s.lastq[i] = -1
+	}
+	return s
+}
+
+// MapSegment maps one end segment and returns its best hit. ok=false
+// means the segment produced no sketch or no subject was hit in any
+// trial. Ties are broken toward the lower subject id for determinism.
+func (s *Session) MapSegment(segment []byte) (Hit, bool) {
+	words := s.m.sk.QuerySketch(segment)
+	if words == nil {
+		return Hit{Subject: -1}, false
+	}
+	s.qid++
+	qid := s.qid
+	s.cand = s.cand[:0]
+	for t, w := range words {
+		for _, p := range s.m.lookup(t, w) {
+			subj := p.Subject
+			if s.lastq[subj] != qid {
+				s.lastq[subj] = qid
+				s.count[subj] = 0
+				s.cand = append(s.cand, subj)
+			}
+			s.count[subj]++
+		}
+	}
+	if len(s.cand) == 0 {
+		return Hit{Subject: -1}, false
+	}
+	best := Hit{Subject: -1, Count: 0}
+	for _, subj := range s.cand {
+		c := s.count[subj]
+		if c > best.Count || (c == best.Count && subj < best.Subject) {
+			best = Hit{Subject: subj, Count: c}
+		}
+	}
+	return best, true
+}
+
+// PositionalHit extends Hit with an approximate target location: the
+// median interval anchor of the trials that hit the subject, giving
+// the start of the ~ℓ-long region of the contig the segment maps to.
+// This positional estimate is an extension over the paper (whose
+// output is subject ids only) enabled by the positional sketch table.
+type PositionalHit struct {
+	Hit
+	// TargetStart is the estimated start of the mapped region on the
+	// subject; TargetEnd is TargetStart + len(segment) clamped to the
+	// subject length. TargetStart is -1 when no positional provenance
+	// exists.
+	TargetStart, TargetEnd int32
+	// Reverse is true when the segment maps to the subject's reverse
+	// strand (decided by which offset-vote hypothesis clusters more
+	// tightly).
+	Reverse bool
+}
+
+// MapSegmentPositional maps a segment and estimates where on the best
+// subject it landed: each trial whose sketch word hits the winning
+// subject votes with the offset (target anchor − query word position),
+// and the median offset is the estimated start of the mapped region.
+func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
+	words, qpos := s.m.sk.QuerySketchPositional(segment)
+	if words == nil {
+		return PositionalHit{Hit: Hit{Subject: -1}, TargetStart: -1}, false
+	}
+	s.qid++
+	qid := s.qid
+	s.cand = s.cand[:0]
+	for t, w := range words {
+		for _, p := range s.m.lookup(t, w) {
+			subj := p.Subject
+			if s.lastq[subj] != qid {
+				s.lastq[subj] = qid
+				s.count[subj] = 0
+				s.cand = append(s.cand, subj)
+			}
+			s.count[subj]++
+		}
+	}
+	if len(s.cand) == 0 {
+		return PositionalHit{Hit: Hit{Subject: -1}, TargetStart: -1}, false
+	}
+	best := Hit{Subject: -1, Count: 0}
+	for _, subj := range s.cand {
+		c := s.count[subj]
+		if c > best.Count || (c == best.Count && subj < best.Subject) {
+			best = Hit{Subject: subj, Count: c}
+		}
+	}
+	// Second pass: offset votes for the winning subject under both
+	// strand hypotheses. A forward pair satisfies anchor − qpos ≈
+	// segment start on the subject; a reverse pair satisfies
+	// anchor + qpos ≈ start + len(segment) − k. The true hypothesis
+	// clusters tightly around one value while the false one spreads.
+	var fwd, rev []int32
+	for t, w := range words {
+		for _, p := range s.m.lookup(t, w) {
+			if p.Subject == best.Subject && p.Anchor >= 0 {
+				fwd = append(fwd, p.Anchor-qpos[t])
+				rev = append(rev, p.Anchor+qpos[t])
+			}
+		}
+	}
+	ph := PositionalHit{Hit: best, TargetStart: -1}
+	if len(fwd) == 0 {
+		return ph, true
+	}
+	tol := int32(s.m.sk.Params().W + s.m.sk.Params().K)
+	fMed, fVotes := medianCluster(fwd, tol)
+	rMed, rVotes := medianCluster(rev, tol)
+	var start int32
+	if rVotes > fVotes {
+		ph.Reverse = true
+		start = rMed - int32(len(segment)) + int32(s.m.sk.Params().K)
+	} else {
+		start = fMed
+	}
+	if start < 0 {
+		start = 0
+	}
+	ph.TargetStart = start
+	ph.TargetEnd = start + int32(len(segment))
+	if l := s.m.subjects[best.Subject].Length; ph.TargetEnd > l {
+		ph.TargetEnd = l
+	}
+	return ph, true
+}
+
+// medianCluster sorts xs, takes the median, and counts values within
+// ±tol of it — the cluster-size score used to pick the strand
+// hypothesis. xs is modified (sorted) in place.
+func medianCluster(xs []int32, tol int32) (median int32, votes int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	median = xs[len(xs)/2]
+	for _, x := range xs {
+		if x >= median-tol && x <= median+tol {
+			votes++
+		}
+	}
+	return median, votes
+}
+
+// MapSegmentTopK returns up to k hits ordered by descending count
+// (ties toward lower subject id) — the paper's proposed top-x
+// extension (§IV-C).
+func (s *Session) MapSegmentTopK(segment []byte, k int) []Hit {
+	words := s.m.sk.QuerySketch(segment)
+	if words == nil || k <= 0 {
+		return nil
+	}
+	s.qid++
+	qid := s.qid
+	s.cand = s.cand[:0]
+	for t, w := range words {
+		for _, p := range s.m.lookup(t, w) {
+			subj := p.Subject
+			if s.lastq[subj] != qid {
+				s.lastq[subj] = qid
+				s.count[subj] = 0
+				s.cand = append(s.cand, subj)
+			}
+			s.count[subj]++
+		}
+	}
+	if len(s.cand) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(s.cand))
+	for _, subj := range s.cand {
+		hits = append(hits, Hit{Subject: subj, Count: s.count[subj]})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Count != hits[j].Count {
+			return hits[i].Count > hits[j].Count
+		}
+		return hits[i].Subject < hits[j].Subject
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// TileHit is one interior-tile mapping: the tile's offset on the read
+// plus the best hit for that tile.
+type TileHit struct {
+	// Offset is the tile's start position on the read.
+	Offset int32
+	// Length is the tile length (the last tile may be shorter than ℓ).
+	Length int32
+	Hit
+}
+
+// MapReadTiled maps consecutive ℓ-length tiles across the WHOLE read,
+// not just its ends — the extension the paper flags (§III-B.1) for
+// non-scaffolding use-cases where a contig can be contained entirely
+// within a read's interior and would be invisible to end-segment
+// mapping. Tiles advance by stride bases (stride ≤ 0 means ℓ, i.e.
+// non-overlapping tiles; stride = ℓ/2 gives half-overlapping tiles for
+// better boundary coverage). Unmapped tiles are omitted.
+func (s *Session) MapReadTiled(read []byte, l, stride int) []TileHit {
+	if l <= 0 || len(read) == 0 {
+		return nil
+	}
+	if stride <= 0 {
+		stride = l
+	}
+	var out []TileHit
+	for off := 0; ; off += stride {
+		end := off + l
+		last := false
+		if end >= len(read) {
+			end = len(read)
+			last = true
+		}
+		if end-off >= s.m.sk.Params().K {
+			hit, ok := s.MapSegment(read[off:end])
+			if ok {
+				out = append(out, TileHit{Offset: int32(off), Length: int32(end - off), Hit: hit})
+			}
+		}
+		if last {
+			break
+		}
+	}
+	return out
+}
+
+// ContainedSubjects reports the distinct subjects hit by interior
+// tiles but by neither end tile — candidates for contigs fully
+// contained within the read, which end-segment mapping cannot see.
+func (s *Session) ContainedSubjects(read []byte, l int) []int32 {
+	tiles := s.MapReadTiled(read, l, 0)
+	if len(tiles) <= 2 {
+		return nil
+	}
+	atEnds := make(map[int32]struct{})
+	readLen := int32(len(read))
+	for _, th := range tiles {
+		if th.Offset == 0 || th.Offset+th.Length >= readLen {
+			atEnds[th.Subject] = struct{}{}
+		}
+	}
+	seen := make(map[int32]struct{})
+	var out []int32
+	for _, th := range tiles {
+		if th.Offset == 0 || th.Offset+th.Length >= readLen {
+			continue
+		}
+		if _, end := atEnds[th.Subject]; end {
+			continue
+		}
+		if _, dup := seen[th.Subject]; dup {
+			continue
+		}
+		seen[th.Subject] = struct{}{}
+		out = append(out, th.Subject)
+	}
+	return out
+}
+
+// EndSegments returns the prefix and suffix segments of length l of a
+// read. For reads of length ≤ l a single segment (the whole read,
+// reported as Prefix) is returned, matching the degenerate case where
+// both ends coincide.
+func EndSegments(read []byte, l int) (segments [][]byte, kinds []SegmentKind) {
+	if len(read) <= l {
+		return [][]byte{read}, []SegmentKind{Prefix}
+	}
+	return [][]byte{read[:l], read[len(read)-l:]}, []SegmentKind{Prefix, Suffix}
+}
+
+// MapReads maps the end segments of every read using `workers`
+// goroutines (≤0 means GOMAXPROCS) and returns the per-segment
+// results in deterministic (read, kind) order.
+func (m *Mapper) MapReads(reads []seq.Record, l int, workers int) []Result {
+	results, _ := m.MapReadsTimed(reads, l, workers)
+	return results
+}
+
+// MapReadsTimed is MapReads plus the query-phase wall time, which the
+// experiment harness uses for throughput accounting (Fig. 7b).
+func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result, time.Duration) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	out := make([][]Result, len(reads))
+	var wg sync.WaitGroup
+	idx := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := m.NewSession()
+			for i := range idx {
+				out[i] = mapOneRead(sess, int32(i), reads[i].Seq, l)
+			}
+		}()
+	}
+	for i := range reads {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	flat := make([]Result, 0, 2*len(reads))
+	for _, rs := range out {
+		flat = append(flat, rs...)
+	}
+	return flat, time.Since(start)
+}
+
+func mapOneRead(sess *Session, readIndex int32, read []byte, l int) []Result {
+	segs, kinds := EndSegments(read, l)
+	results := make([]Result, len(segs))
+	for i, seg := range segs {
+		hit, ok := sess.MapSegment(seg)
+		r := Result{ReadIndex: readIndex, Kind: kinds[i], Subject: -1}
+		if ok {
+			r.Subject = hit.Subject
+			r.Count = hit.Count
+		}
+		results[i] = r
+	}
+	return results
+}
+
+// MapSegments maps pre-extracted segments (the form the distributed
+// driver uses, where Q already holds 2m ℓ-length sequences).
+func (m *Mapper) MapSegments(segments [][]byte, workers int) []Hit {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	hits := make([]Hit, len(segments))
+	var wg sync.WaitGroup
+	idx := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := m.NewSession()
+			for i := range idx {
+				h, ok := sess.MapSegment(segments[i])
+				if !ok {
+					h = Hit{Subject: -1}
+				}
+				hits[i] = h
+			}
+		}()
+	}
+	for i := range segments {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return hits
+}
+
+// String renders a result for diagnostics.
+func (r Result) String() string {
+	return fmt.Sprintf("read %d %s -> subject %d (hits %d)", r.ReadIndex, r.Kind, r.Subject, r.Count)
+}

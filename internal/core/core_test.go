@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minimizer"
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = seq.Code2Base[rng.Intn(4)]
+	}
+	return s
+}
+
+func smallParams() sketch.Params {
+	return sketch.Params{K: 8, W: 4, T: 8, L: 200, Seed: 3}
+}
+
+// makeWorld builds a toy reference, carves contigs from it, and
+// samples error-free reads so every segment has an unambiguous best
+// contig.
+func makeWorld(t *testing.T, rng *rand.Rand, refLen, contigLen, nReads int) (ref []byte, contigs []seq.Record, reads []seq.Record, origin []int) {
+	t.Helper()
+	ref = randDNA(rng, refLen)
+	for pos := 0; pos+contigLen <= refLen; pos += contigLen {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("c%d", len(contigs)),
+			Seq: ref[pos : pos+contigLen],
+		})
+	}
+	p := smallParams()
+	readLen := 3 * p.L
+	for i := 0; i < nReads; i++ {
+		pos := rng.Intn(refLen - readLen)
+		reads = append(reads, seq.Record{
+			ID:  fmt.Sprintf("r%d", i),
+			Seq: ref[pos : pos+readLen],
+		})
+		origin = append(origin, pos)
+	}
+	return ref, contigs, reads, origin
+}
+
+func TestEndSegments(t *testing.T) {
+	read := []byte("ACGTACGTACGT") // 12 bases
+	segs, kinds := EndSegments(read, 5)
+	if len(segs) != 2 || len(kinds) != 2 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if string(segs[0]) != "ACGTA" || kinds[0] != Prefix {
+		t.Errorf("prefix = %q %v", segs[0], kinds[0])
+	}
+	if string(segs[1]) != "TACGT" || kinds[1] != Suffix {
+		t.Errorf("suffix = %q %v", segs[1], kinds[1])
+	}
+	// Short read: single segment.
+	segs, kinds = EndSegments(read, 12)
+	if len(segs) != 1 || kinds[0] != Prefix || string(segs[0]) != string(read) {
+		t.Errorf("short read: %q %v", segs[0], kinds)
+	}
+	segs, _ = EndSegments(read, 100)
+	if len(segs) != 1 {
+		t.Errorf("l > len: %d segments", len(segs))
+	}
+}
+
+func TestMapSegmentFindsOriginContig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, contigs, reads, origin := makeWorld(t, rng, 20_000, 1000, 30)
+	m, err := NewMapper(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddSubjects(contigs)
+	sess := m.NewSession()
+	correct := 0
+	for i, r := range reads {
+		hit, ok := sess.MapSegment(r.Seq[:smallParams().L])
+		if !ok {
+			continue
+		}
+		wantContig := int32(origin[i] / 1000) // prefix starts at origin
+		// The segment may straddle two contigs; accept either side.
+		if hit.Subject == wantContig || hit.Subject == wantContig+1 {
+			correct++
+		}
+	}
+	if correct < 28 {
+		t.Errorf("only %d/30 segments mapped to their origin contig", correct)
+	}
+}
+
+func TestMapSegmentNoSketch(t *testing.T) {
+	m, _ := NewMapper(smallParams())
+	m.AddSubjects([]seq.Record{{ID: "c", Seq: []byte("ACGTACGTACGTACGTACGTACGTACGT")}})
+	sess := m.NewSession()
+	if _, ok := sess.MapSegment([]byte("ACG")); ok {
+		t.Error("too-short segment should not map")
+	}
+	if _, ok := sess.MapSegment(nil); ok {
+		t.Error("nil segment should not map")
+	}
+}
+
+func TestMapSegmentNoSubjects(t *testing.T) {
+	m, _ := NewMapper(smallParams())
+	sess := m.NewSession()
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := sess.MapSegment(randDNA(rng, 200)); ok {
+		t.Error("no subjects: should not map")
+	}
+}
+
+func TestLazyCountersMatchMapCounting(t *testing.T) {
+	// The lazy-update counter array must produce exactly the counts a
+	// plain map produces, across many consecutive queries.
+	rng := rand.New(rand.NewSource(11))
+	_, contigs, reads, _ := makeWorld(t, rng, 30_000, 800, 50)
+	p := smallParams()
+	m, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddSubjects(contigs)
+	sess := m.NewSession()
+	for _, r := range reads {
+		seg := r.Seq[:p.L]
+		got, gotOK := sess.MapSegment(seg)
+
+		// Naive recount.
+		words := m.Sketcher().QuerySketch(seg)
+		counts := map[int32]int32{}
+		for tr, w := range words {
+			for _, p := range m.Table().Lookup(tr, w) {
+				counts[p.Subject]++
+			}
+		}
+		want := Hit{Subject: -1}
+		for subj, c := range counts {
+			if c > want.Count || (c == want.Count && subj < want.Subject) {
+				want = Hit{Subject: subj, Count: c}
+			}
+		}
+		wantOK := len(counts) > 0
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("lazy %v,%v != naive %v,%v", got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestMapSegmentTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	_, contigs, reads, _ := makeWorld(t, rng, 20_000, 500, 10)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	sess := m.NewSession()
+	for _, r := range reads {
+		seg := r.Seq[:p.L]
+		hits := sess.MapSegmentTopK(seg, 3)
+		if len(hits) == 0 {
+			continue
+		}
+		if len(hits) > 3 {
+			t.Fatalf("topK returned %d hits", len(hits))
+		}
+		for i := 1; i < len(hits); i++ {
+			if hits[i].Count > hits[i-1].Count {
+				t.Fatalf("topK not sorted: %v", hits)
+			}
+			if hits[i].Count == hits[i-1].Count && hits[i].Subject < hits[i-1].Subject {
+				t.Fatalf("topK tie order wrong: %v", hits)
+			}
+		}
+		best, ok := sess.MapSegment(seg)
+		if !ok || hits[0] != best {
+			t.Fatalf("topK[0] %v != best %v", hits[0], best)
+		}
+	}
+	if got := sess.MapSegmentTopK(reads[0].Seq[:p.L], 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestAddSubjectsParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var contigs []seq.Record
+	for i := 0; i < 40; i++ {
+		contigs = append(contigs, seq.Record{ID: fmt.Sprintf("c%d", i), Seq: randDNA(rng, 300+rng.Intn(1200))})
+	}
+	p := smallParams()
+	seqM, _ := NewMapper(p)
+	seqM.AddSubjects(contigs)
+	parM, _ := NewMapper(p)
+	parM.AddSubjectsParallel(contigs, 4)
+	if seqM.NumSubjects() != parM.NumSubjects() {
+		t.Fatalf("subject counts differ")
+	}
+	if seqM.Table().Entries() != parM.Table().Entries() {
+		t.Fatalf("table entries differ: %d vs %d", seqM.Table().Entries(), parM.Table().Entries())
+	}
+	// Same mapping decisions.
+	s1, s2 := seqM.NewSession(), parM.NewSession()
+	for i := 0; i < 30; i++ {
+		seg := randDNA(rng, p.L)
+		h1, ok1 := s1.MapSegment(seg)
+		h2, ok2 := s2.MapSegment(seg)
+		if ok1 != ok2 || h1 != h2 {
+			t.Fatalf("mapping differs: %v,%v vs %v,%v", h1, ok1, h2, ok2)
+		}
+	}
+}
+
+func TestMapReadsDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	_, contigs, reads, _ := makeWorld(t, rng, 20_000, 1000, 20)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	r1 := m.MapReads(reads, p.L, 1)
+	r2 := m.MapReads(reads, p.L, 4)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("worker count changed results")
+	}
+	for i, r := range r1 {
+		wantRead := int32(i / 2)
+		wantKind := Prefix
+		if i%2 == 1 {
+			wantKind = Suffix
+		}
+		if r.ReadIndex != wantRead || r.Kind != wantKind {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestMapSegmentsMatchesMapReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	_, contigs, reads, _ := makeWorld(t, rng, 15_000, 700, 15)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	results := m.MapReads(reads, p.L, 2)
+	var segments [][]byte
+	for _, r := range reads {
+		segs, _ := EndSegments(r.Seq, p.L)
+		segments = append(segments, segs...)
+	}
+	hits := m.MapSegments(segments, 2)
+	if len(hits) != len(results) {
+		t.Fatalf("%d hits vs %d results", len(hits), len(results))
+	}
+	for i := range hits {
+		if hits[i].Subject != results[i].Subject {
+			t.Fatalf("segment %d: %v vs %v", i, hits[i], results[i])
+		}
+	}
+}
+
+func TestRegisterSubjectsAndMergeTableEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var contigs []seq.Record
+	for i := 0; i < 20; i++ {
+		contigs = append(contigs, seq.Record{ID: fmt.Sprintf("c%d", i), Seq: randDNA(rng, 600)})
+	}
+	p := smallParams()
+	direct, _ := NewMapper(p)
+	direct.AddSubjects(contigs)
+
+	split, _ := NewMapper(p)
+	split.RegisterSubjects(contigs)
+	// Build two partial tables as two "ranks" would.
+	t1 := sketch.NewTable(p.T)
+	t2 := sketch.NewTable(p.T)
+	for i := range contigs {
+		tbl := t1
+		if i >= 10 {
+			tbl = t2
+		}
+		tbl.Insert(int32(i), split.Sketcher().SubjectSketch(contigs[i].Seq))
+	}
+	split.MergeTable(t1)
+	split.MergeTable(t2)
+
+	if direct.Table().Entries() != split.Table().Entries() {
+		t.Fatalf("entries differ: %d vs %d", direct.Table().Entries(), split.Table().Entries())
+	}
+	s1, s2 := direct.NewSession(), split.NewSession()
+	for i := 0; i < 40; i++ {
+		seg := randDNA(rng, p.L)
+		h1, ok1 := s1.MapSegment(seg)
+		h2, ok2 := s2.MapSegment(seg)
+		if ok1 != ok2 || h1 != h2 {
+			t.Fatalf("mapping differs after merge: %v vs %v", h1, h2)
+		}
+	}
+}
+
+func TestSetFrozenDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	_, contigs, reads, _ := makeWorld(t, rng, 10_000, 500, 5)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	sess := m.NewSession()
+	seg := reads[0].Seq[:p.L]
+	if _, ok := sess.MapSegment(seg); !ok {
+		t.Fatal("baseline mapping failed")
+	}
+	// Freeze the real table: results must not change.
+	m.SetFrozen(m.Table().Freeze())
+	frozenSess := m.NewSession()
+	h1, ok1 := frozenSess.MapSegment(seg)
+	m.SetFrozen(nil) // back to the hash table
+	hashSess := m.NewSession()
+	h2, ok2 := hashSess.MapSegment(seg)
+	if ok1 != ok2 || h1 != h2 {
+		t.Fatalf("frozen %v,%v != hash %v,%v", h1, ok1, h2, ok2)
+	}
+	// An empty frozen table must shadow the hash table (proves the
+	// dispatch actually switches).
+	m.SetFrozen(sketch.NewTable(p.T).Freeze())
+	emptySess := m.NewSession()
+	if _, ok := emptySess.MapSegment(seg); ok {
+		t.Error("empty frozen table still produced hits")
+	}
+}
+
+func TestMapReadsTimedReportsDuration(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	_, contigs, reads, _ := makeWorld(t, rng, 10_000, 500, 5)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	results, d := m.MapReadsTimed(reads, p.L, 1)
+	if len(results) != 2*len(reads) {
+		t.Errorf("got %d results", len(results))
+	}
+	if d <= 0 {
+		t.Errorf("duration %v not positive", d)
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if Prefix.String() != "prefix" || Suffix.String() != "suffix" {
+		t.Error("SegmentKind strings wrong")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ReadIndex: 3, Kind: Suffix, Subject: 7, Count: 12}
+	if r.String() == "" || !r.Mapped() {
+		t.Error("result rendering broken")
+	}
+	if (Result{Subject: -1}).Mapped() {
+		t.Error("subject -1 should be unmapped")
+	}
+}
+
+func TestMapSegmentPositionalEstimatesLocation(t *testing.T) {
+	// One long contig; segments cut from known offsets must come back
+	// with a target window containing (roughly) the cut position.
+	rng := rand.New(rand.NewSource(41))
+	contig := randDNA(rng, 20_000)
+	// Realistic k: at k=8 the same word recurs within one contig and
+	// pollutes the anchor median; k=12 collisions are rare.
+	p := sketch.Params{K: 12, W: 4, T: 8, L: 200, Seed: 3}
+	m, _ := NewMapper(p)
+	m.AddSubjects([]seq.Record{{ID: "c", Seq: contig}})
+	sess := m.NewSession()
+	for trial := 0; trial < 20; trial++ {
+		pos := rng.Intn(len(contig) - p.L)
+		ph, ok := sess.MapSegmentPositional(contig[pos : pos+p.L])
+		if !ok || ph.Subject != 0 {
+			t.Fatalf("trial %d: hit %+v ok=%v", trial, ph, ok)
+		}
+		if ph.TargetStart < 0 {
+			t.Fatalf("trial %d: no positional estimate", trial)
+		}
+		// The median anchor should land within ~ℓ of the true cut.
+		diff := int(ph.TargetStart) - pos
+		if diff < -p.L || diff > p.L {
+			t.Errorf("trial %d: estimate %d vs true %d (diff %d)", trial, ph.TargetStart, pos, diff)
+		}
+		if ph.TargetEnd <= ph.TargetStart || ph.TargetEnd > int32(len(contig)) {
+			t.Errorf("trial %d: bad window [%d,%d)", trial, ph.TargetStart, ph.TargetEnd)
+		}
+	}
+}
+
+func TestMapSegmentPositionalAgreesWithPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	_, contigs, reads, _ := makeWorld(t, rng, 20_000, 1000, 20)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	plain := m.NewSession()
+	positional := m.NewSession()
+	for _, r := range reads {
+		seg := r.Seq[:p.L]
+		h1, ok1 := plain.MapSegment(seg)
+		h2, ok2 := positional.MapSegmentPositional(seg)
+		if ok1 != ok2 || (ok1 && h1 != h2.Hit) {
+			t.Fatalf("positional best hit diverges: %v vs %v", h1, h2.Hit)
+		}
+	}
+}
+
+func TestMapReadTiledFindsContainedContig(t *testing.T) {
+	// A small contig embedded in the middle of a long read is missed
+	// by end-segment mapping but found by tiled mapping — the
+	// extension scenario the paper describes in §III-B.1.
+	rng := rand.New(rand.NewSource(47))
+	p := sketch.Params{K: 12, W: 4, T: 8, L: 300, Seed: 3}
+	contained := randDNA(rng, 400)
+	flankA := randDNA(rng, 2000)
+	flankB := randDNA(rng, 2000)
+	read := append(append(append([]byte(nil), flankA...), contained...), flankB...)
+
+	m, _ := NewMapper(p)
+	m.AddSubjects([]seq.Record{
+		{ID: "left", Seq: flankA},
+		{ID: "mid", Seq: contained},
+		{ID: "right", Seq: flankB},
+	})
+	sess := m.NewSession()
+
+	// End segments see only the flanks.
+	segs, _ := EndSegments(read, p.L)
+	for _, seg := range segs {
+		if hit, ok := sess.MapSegment(seg); ok && hit.Subject == 1 {
+			t.Fatal("end segment unexpectedly hit the contained contig")
+		}
+	}
+	// Tiled mapping must surface the contained contig.
+	contained2 := sess.ContainedSubjects(read, p.L)
+	found := false
+	for _, s := range contained2 {
+		if s == 1 {
+			found = true
+		}
+	}
+	if !found {
+		tiles := sess.MapReadTiled(read, p.L, 0)
+		t.Fatalf("contained contig not found; tiles: %+v", tiles)
+	}
+}
+
+func TestMapReadTiledStrideAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p := smallParams()
+	contig := randDNA(rng, 3000)
+	m, _ := NewMapper(p)
+	m.AddSubjects([]seq.Record{{ID: "c", Seq: contig}})
+	sess := m.NewSession()
+	tiles := sess.MapReadTiled(contig, p.L, p.L/2)
+	if len(tiles) == 0 {
+		t.Fatal("no tiles mapped")
+	}
+	for i, th := range tiles {
+		if th.Offset < 0 || int(th.Offset+th.Length) > len(contig) {
+			t.Fatalf("tile %d out of bounds: %+v", i, th)
+		}
+		if i > 0 && tiles[i].Offset <= tiles[i-1].Offset {
+			t.Fatalf("tiles not advancing: %+v", tiles)
+		}
+	}
+	if got := sess.MapReadTiled(nil, p.L, 0); got != nil {
+		t.Error("nil read should map no tiles")
+	}
+	if got := sess.MapReadTiled(contig, 0, 0); got != nil {
+		t.Error("l=0 should map no tiles")
+	}
+}
+
+func TestBestHitAgreesWithBruteForceJaccard(t *testing.T) {
+	// Differential test of the paper's premise: JEM's trial-count
+	// best hit should usually coincide with the contig maximizing the
+	// exact minimizer Jaccard against the segment. Agreement is
+	// statistical (the estimator is randomized), so we demand a high
+	// rate, not unanimity.
+	rng := rand.New(rand.NewSource(59))
+	p := sketch.Params{K: 12, W: 6, T: 24, L: 400, Seed: 2}
+	mp := minimizer.Params{K: p.K, W: p.W}
+	ref := randDNA(rng, 40_000)
+	var contigs []seq.Record
+	const contigLen = 2000
+	for pos := 0; pos+contigLen <= len(ref); pos += contigLen {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("c%d", len(contigs)),
+			Seq: ref[pos : pos+contigLen],
+		})
+	}
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	sess := m.NewSession()
+
+	agree, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		pos := rng.Intn(len(ref) - p.L)
+		seg := append([]byte(nil), ref[pos:pos+p.L]...)
+		for i := range seg { // light noise
+			if rng.Float64() < 0.01 {
+				seg[i] = seq.Code2Base[rng.Intn(4)]
+			}
+		}
+		hit, ok := sess.MapSegment(seg)
+		if !ok {
+			continue
+		}
+		// Brute force argmax of minimizer Jaccard.
+		bestJ, bestC := -1.0, int32(-1)
+		for ci := range contigs {
+			j := minimizer.Jaccard(seg, contigs[ci].Seq, mp)
+			if j > bestJ {
+				bestJ, bestC = j, int32(ci)
+			}
+		}
+		total++
+		if hit.Subject == bestC {
+			agree++
+		}
+	}
+	if total < 30 {
+		t.Fatalf("only %d segments mapped", total)
+	}
+	if agree*10 < total*8 {
+		t.Errorf("JEM best hit agreed with brute-force Jaccard on only %d/%d segments", agree, total)
+	}
+}
+
+func TestSessionQueryIDIsolation(t *testing.T) {
+	// Counters from one query must never leak into the next, even
+	// when the same subjects are hit (quick-checked over random
+	// segment pairs).
+	rng := rand.New(rand.NewSource(37))
+	_, contigs, _, _ := makeWorld(t, rng, 10_000, 500, 1)
+	p := smallParams()
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		segA := randDNA(r, p.L)
+		segB := randDNA(r, p.L)
+		fresh := m.NewSession()
+		wantB, wantOK := fresh.MapSegment(segB)
+		reused := m.NewSession()
+		reused.MapSegment(segA)
+		gotB, gotOK := reused.MapSegment(segB)
+		return gotOK == wantOK && gotB == wantB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/minimizer"
+	"repro/internal/sketch"
+)
+
+// indexMagic identifies a serialized mapper index; the version is
+// bumped on any format change.
+var indexMagic = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
+
+// WriteIndex serializes the mapper — sketch parameters, subject
+// metadata and the sketch table — so an index built once can be reused
+// across runs (jem-mapper -save-index / -load-index). The format is
+// little-endian binary, stable across platforms.
+func (m *Mapper) WriteIndex(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	p := m.sk.Params()
+	for _, v := range []uint64{
+		uint64(p.K), uint64(p.W), uint64(p.T), uint64(p.L),
+		uint64(p.Seed), uint64(p.Order),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.subjects))); err != nil {
+		return err
+	}
+	for _, s := range m.subjects {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s.Length)); err != nil {
+			return err
+		}
+	}
+	if err := m.table.Encode(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes a mapper previously written by WriteIndex.
+func ReadIndex(r io.Reader) (*Mapper, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: not a JEM index (magic %q)", magic[:])
+	}
+	var raw [6]uint64
+	for i := range raw {
+		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, fmt.Errorf("core: reading index params: %w", err)
+		}
+	}
+	p := sketch.Params{
+		K: int(raw[0]), W: int(raw[1]), T: int(raw[2]), L: int(raw[3]),
+		Seed: int64(raw[4]),
+	}
+	p.Order = minimizer.Ordering(raw[5])
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: index carries invalid params: %w", err)
+	}
+	m, err := NewMapper(p)
+	if err != nil {
+		return nil, err
+	}
+	var nsubj uint32
+	if err := binary.Read(br, binary.LittleEndian, &nsubj); err != nil {
+		return nil, err
+	}
+	if nsubj > 1<<28 {
+		return nil, fmt.Errorf("core: implausible subject count %d", nsubj)
+	}
+	m.subjects = make([]SubjectMeta, 0, min32(nsubj, 1<<16))
+	for i := uint32(0); i < nsubj; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("core: implausible subject name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		var length uint32
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, err
+		}
+		m.subjects = append(m.subjects, SubjectMeta{Name: string(name), Length: int32(length)})
+	}
+	tbl, err := sketch.DecodeTable(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding sketch table: %w", err)
+	}
+	if tbl.T() != p.T {
+		return nil, fmt.Errorf("core: table has %d trials, params say %d", tbl.T(), p.T)
+	}
+	m.table = tbl
+	return m, nil
+}
+
+func min32(a uint32, b int) int {
+	if int(a) < b {
+		return int(a)
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	var contigs []seq.Record
+	for i := 0; i < 25; i++ {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("contig_%d", i),
+			Seq: randDNA(rng, 400+rng.Intn(1500)),
+		})
+	}
+	p := smallParams()
+	orig, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.AddSubjects(contigs)
+
+	var buf bytes.Buffer
+	if err := orig.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSubjects() != orig.NumSubjects() {
+		t.Fatalf("subjects %d != %d", loaded.NumSubjects(), orig.NumSubjects())
+	}
+	for i := int32(0); int(i) < orig.NumSubjects(); i++ {
+		if loaded.Subject(i) != orig.Subject(i) {
+			t.Fatalf("subject %d metadata differs", i)
+		}
+	}
+	if loaded.Table().Entries() != orig.Table().Entries() {
+		t.Fatalf("entries %d != %d", loaded.Table().Entries(), orig.Table().Entries())
+	}
+	if loaded.Sketcher().Params() != orig.Sketcher().Params() {
+		t.Fatalf("params differ")
+	}
+	// Identical mapping decisions, including positional ones.
+	s1, s2 := orig.NewSession(), loaded.NewSession()
+	for i := 0; i < 40; i++ {
+		var seg []byte
+		if i%2 == 0 {
+			c := contigs[rng.Intn(len(contigs))].Seq
+			off := rng.Intn(len(c)/2 + 1)
+			end := off + p.L
+			if end > len(c) {
+				end = len(c)
+			}
+			seg = c[off:end]
+		} else {
+			seg = randDNA(rng, p.L)
+		}
+		h1, ok1 := s1.MapSegmentPositional(seg)
+		h2, ok2 := s2.MapSegmentPositional(seg)
+		if ok1 != ok2 || h1 != h2 {
+			t.Fatalf("segment %d: %v,%v != %v,%v", i, h1, ok1, h2, ok2)
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOTANINDEXATALL!"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(indexMagic[:])
+	buf.Write([]byte{1, 2, 3})
+	if _, err := ReadIndex(&buf); err == nil {
+		t.Error("truncated index should fail")
+	}
+}
+
+func TestReadIndexRejectsBadParams(t *testing.T) {
+	m, _ := NewMapper(smallParams())
+	var buf bytes.Buffer
+	if err := m.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt K (first param word after the 8-byte magic) to zero.
+	for i := 8; i < 16; i++ {
+		b[i] = 0
+	}
+	if _, err := ReadIndex(bytes.NewReader(b)); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

@@ -1,0 +1,206 @@
+// Package dist drives JEM-mapper through the distributed-memory steps
+// S1–S4 of §III-C on the simulated MPI runtime:
+//
+//	S1 (load input)      block-partition queries and subjects by bases
+//	S2 (sketch subjects) each rank sketches its local contigs
+//	S3 (gather sketch)   allgather the per-rank tables into S_global
+//	S4 (map queries)     each rank maps its local query segments
+//
+// The output mapping is bit-identical to the shared-memory path for
+// any p (ties are broken by subject id, and the table's posting-list
+// order does not influence best-hit selection), which the tests
+// assert.
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+// Config configures a distributed run.
+type Config struct {
+	// P is the number of simulated ranks.
+	P int
+	// Params are the JEM sketch parameters; Params.L doubles as the
+	// end-segment length, as in the paper.
+	Params sketch.Params
+	// Model is the communication cost model; zero value means the
+	// paper's 10 Gbps Ethernet.
+	Model mpi.CostModel
+	// MaxParallel bounds physical concurrency during simulation (≤0 =
+	// GOMAXPROCS).
+	MaxParallel int
+}
+
+// Output bundles the mapping and its simulated timeline.
+type Output struct {
+	Results  []core.Result
+	Timeline mpi.Timeline
+	// QuerySegments is the number of end segments mapped (the unit of
+	// Fig. 7b's throughput).
+	QuerySegments int
+	// TableBytes is the allgathered sketch payload size.
+	TableBytes int64
+}
+
+// Throughput returns query segments per second of simulated S4 time.
+func (o *Output) Throughput() float64 {
+	st := o.Timeline.Step("S4 map queries")
+	if st == nil || st.Sim == 0 {
+		return 0
+	}
+	return float64(o.QuerySegments) / st.Sim.Seconds()
+}
+
+// Run executes the distributed JEM-mapper.
+func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("dist: p=%d must be positive", cfg.P)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model == (mpi.CostModel{}) {
+		cfg.Model = mpi.Ethernet10G()
+	}
+	sim := mpi.New(cfg.P, cfg.Model, cfg.MaxParallel)
+
+	mapper, err := core.NewMapper(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	// S1: load input. Partition subjects and queries into contiguous
+	// byte-balanced rank shares and register global subject metadata.
+	subjParts := make([][2]int, cfg.P)
+	readParts := make([][2]int, cfg.P)
+	sim.Step("S1 load input", func(rank int) {
+		subjParts[rank] = partitionByBases(contigs, cfg.P, rank)
+		readParts[rank] = partitionByBases(reads, cfg.P, rank)
+	})
+	mapper.RegisterSubjects(contigs)
+
+	// S2: sketch subjects into per-rank local tables.
+	locals := make([]*sketch.Table, cfg.P)
+	sim.Step("S2 sketch subjects", func(rank int) {
+		tbl := sketch.NewTable(cfg.Params.T)
+		lo, hi := subjParts[rank][0], subjParts[rank][1]
+		for i := lo; i < hi; i++ {
+			tbl.Insert(int32(i), mapper.Sketcher().SubjectSketch(contigs[i].Seq))
+		}
+		locals[rank] = tbl
+	})
+
+	// S3: gather. Serialize per rank (real work), charge the modeled
+	// allgather, then build S_global (executed once, counted as the
+	// per-rank merge every process performs).
+	encoded := make([][]byte, cfg.P)
+	sim.Step("S3 serialize sketch", func(rank int) {
+		var buf bytes.Buffer
+		if err := locals[rank].Encode(&buf); err != nil {
+			panic(err) // bytes.Buffer writes cannot fail
+		}
+		encoded[rank] = buf.Bytes()
+	})
+	var total int64
+	for _, b := range encoded {
+		total += int64(len(b))
+	}
+	sim.Allgather("S3 allgather sketch", total)
+	// Every rank turns the gathered payloads into its S_global. The
+	// sorted payload format admits a k-way merge into a frozen
+	// sorted-array table — no hashing — which keeps this step from
+	// dominating the runtime the way a hash-map rebuild would.
+	var mergeErr error
+	sim.SequentialStep("S3 merge sketch", func() {
+		ft, err := sketch.FreezePayloads(cfg.Params.T, encoded)
+		if err != nil {
+			mergeErr = err
+			return
+		}
+		mapper.SetFrozen(ft)
+	})
+	if mergeErr != nil {
+		return nil, fmt.Errorf("dist: gather: %w", mergeErr)
+	}
+
+	// S4: map local queries.
+	perRank := make([][]core.Result, cfg.P)
+	segCounts := make([]int, cfg.P)
+	sim.Step("S4 map queries", func(rank int) {
+		sess := mapper.NewSession()
+		lo, hi := readParts[rank][0], readParts[rank][1]
+		var out []core.Result
+		for i := lo; i < hi; i++ {
+			segs, kinds := core.EndSegments(reads[i].Seq, cfg.Params.L)
+			for s, seg := range segs {
+				hit, ok := sess.MapSegment(seg)
+				r := core.Result{ReadIndex: int32(i), Kind: kinds[s], Subject: -1}
+				if ok {
+					r.Subject = hit.Subject
+					r.Count = hit.Count
+				}
+				out = append(out, r)
+				segCounts[rank]++
+			}
+		}
+		perRank[rank] = out
+	})
+
+	var results []core.Result
+	segments := 0
+	for rank := 0; rank < cfg.P; rank++ {
+		results = append(results, perRank[rank]...)
+		segments += segCounts[rank]
+	}
+	// Ranks hold contiguous read ranges, so concatenation is already
+	// (read, kind)-ordered; keep the sort as a safety net for callers
+	// that rely on the ordering contract.
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].ReadIndex != results[j].ReadIndex {
+			return results[i].ReadIndex < results[j].ReadIndex
+		}
+		return results[i].Kind < results[j].Kind
+	})
+
+	return &Output{
+		Results:       results,
+		Timeline:      sim.Timeline(),
+		QuerySegments: segments,
+		TableBytes:    total,
+	}, nil
+}
+
+// partitionByBases returns rank r's contiguous share of records,
+// balanced by total bases rather than record count (the paper's S1
+// gives each process O(N/p) subject and O(M/p) query bases).
+func partitionByBases(records []seq.Record, p, r int) [2]int {
+	var total int64
+	for i := range records {
+		total += int64(len(records[i].Seq))
+	}
+	targetLo := total * int64(r) / int64(p)
+	targetHi := total * int64(r+1) / int64(p)
+	lo, hi := len(records), len(records)
+	var acc int64
+	for i := range records {
+		if acc >= targetLo && lo == len(records) {
+			lo = i
+		}
+		if acc >= targetHi {
+			hi = i
+			break
+		}
+		acc += int64(len(records[i].Seq))
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return [2]int{lo, hi}
+}

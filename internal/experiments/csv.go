@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers emit the raw series behind each exhibit so figures can
+// be re-plotted with any tool. Every writer emits a header row and
+// one record per data point.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+func d(x int) string     { return strconv.Itoa(x) }
+
+// Table1CSV writes the dataset statistics.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Dataset, d(r.GenomeLen), d(r.NumContigs), strconv.FormatInt(r.SubjectBases, 10),
+			f(r.ContigMean), f(r.ContigStdDev), d(r.NumReads),
+			strconv.FormatInt(r.QueryBases, 10), f(r.ReadMean), f(r.ReadStdDev),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "genome_len", "num_contigs", "subject_bases",
+		"contig_mean", "contig_sd", "num_reads", "query_bases", "read_mean", "read_sd",
+	}, recs)
+}
+
+// Fig5CSV writes the quality comparison.
+func Fig5CSV(w io.Writer, rows []QualityRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		recs = append(recs, []string{
+			r.Dataset,
+			f(r.JEM.Precision), f(r.JEM.Recall),
+			f(r.Mashmap.Precision), f(r.Mashmap.Recall),
+			f(r.SeedChain.Precision), f(r.SeedChain.Recall),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "jem_precision", "jem_recall", "mashmap_precision", "mashmap_recall",
+		"seedchain_precision", "seedchain_recall",
+	}, recs)
+}
+
+// Fig6CSV writes the trial sweep.
+func Fig6CSV(w io.Writer, dataset string, points []TrialsPoint) error {
+	var recs [][]string
+	for _, p := range points {
+		recs = append(recs, []string{
+			dataset, d(p.Trials),
+			f(p.JEM.Precision), f(p.JEM.Recall),
+			f(p.ClassicalMinHash.Precision), f(p.ClassicalMinHash.Recall),
+		})
+	}
+	return writeCSV(w, []string{
+		"dataset", "trials", "jem_precision", "jem_recall", "minhash_precision", "minhash_recall",
+	}, recs)
+}
+
+// Table2CSV writes the scaling study (one row per dataset × p, plus a
+// mashmap row per dataset with p = 0).
+func Table2CSV(w io.Writer, rows []ScalingRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		for i, p := range r.P {
+			recs = append(recs, []string{
+				r.Dataset, d(p), f(r.JEMRuntime[i].Seconds()), "jem",
+			})
+		}
+		recs = append(recs, []string{
+			r.Dataset, "0", f(r.MashmapRuntime.Seconds()), "mashmap-allthreads",
+		})
+	}
+	return writeCSV(w, []string{"dataset", "p", "runtime_s", "series"}, recs)
+}
+
+// Fig7bCSV writes the throughput series.
+func Fig7bCSV(w io.Writer, rows []ThroughputRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		for i, p := range r.P {
+			recs = append(recs, []string{r.Dataset, d(p), f(r.Throughput[i])})
+		}
+	}
+	return writeCSV(w, []string{"dataset", "p", "segments_per_s"}, recs)
+}
+
+// Fig8CSV writes the computation/communication split.
+func Fig8CSV(w io.Writer, rows []CommRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		for i, p := range r.P {
+			recs = append(recs, []string{r.Dataset, d(p), f(r.CompPct[i]), f(r.CommPct[i])})
+		}
+	}
+	return writeCSV(w, []string{"dataset", "p", "compute_pct", "comm_pct"}, recs)
+}
+
+// Fig9CSV writes the identity histogram bins.
+func Fig9CSV(w io.Writer, r *IdentityResult) error {
+	var recs [][]string
+	for i := range r.Histogram.Counts {
+		recs = append(recs, []string{
+			r.Dataset, r.Histogram.BinLabel(i),
+			strconv.FormatInt(r.Histogram.Counts[i], 10),
+			f(r.Histogram.Fraction(i)),
+		})
+	}
+	return writeCSV(w, []string{"dataset", "identity_bin", "count", "fraction"}, recs)
+}
+
+// Fig7aCSV writes the per-step breakdown.
+func Fig7aCSV(w io.Writer, rows []BreakdownRow) error {
+	var recs [][]string
+	for _, r := range rows {
+		for _, st := range r.Steps {
+			recs = append(recs, []string{
+				r.Dataset, fmt.Sprintf("p=%d", r.P), st.Name, f(st.Duration.Seconds()),
+			})
+		}
+	}
+	return writeCSV(w, []string{"dataset", "p", "step", "seconds"}, recs)
+}

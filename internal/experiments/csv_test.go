@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func parseCSV(t *testing.T, b []byte) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(bytes.NewReader(b)).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	return recs
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+
+	t.Run("table1", func(t *testing.T) {
+		buf.Reset()
+		rows := []Table1Row{{Dataset: "x", GenomeLen: 100, NumContigs: 3, SubjectBases: 90,
+			ContigMean: 30, NumReads: 5, QueryBases: 500, ReadMean: 100}}
+		if err := Table1CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if len(recs) != 2 || recs[1][0] != "x" || recs[1][2] != "3" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig5", func(t *testing.T) {
+		buf.Reset()
+		rows := []QualityRow{{Dataset: "y", JEM: jem.Quality{Precision: 0.9, Recall: 0.8}}}
+		if err := Fig5CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if len(recs) != 2 || recs[1][1] != "0.900000" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig6", func(t *testing.T) {
+		buf.Reset()
+		pts := []TrialsPoint{{Trials: 30, JEM: jem.Quality{Recall: 0.95}}}
+		if err := Fig6CSV(&buf, "z", pts); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if recs[1][1] != "30" || recs[1][3] != "0.950000" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("table2", func(t *testing.T) {
+		buf.Reset()
+		rows := []ScalingRow{{
+			Dataset: "d", P: []int{4, 8},
+			JEMRuntime:     []time.Duration{2 * time.Second, time.Second},
+			MashmapRuntime: 4 * time.Second,
+		}}
+		if err := Table2CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if len(recs) != 4 { // header + 2 p rows + mashmap row
+			t.Fatalf("recs = %v", recs)
+		}
+		if recs[3][3] != "mashmap-allthreads" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig7a", func(t *testing.T) {
+		buf.Reset()
+		rows := []BreakdownRow{{Dataset: "d", P: 16, Steps: []jem.StepTime{{Name: "S4", Duration: time.Second}}}}
+		if err := Fig7aCSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if recs[1][2] != "S4" || recs[1][3] != "1.000000" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig7b", func(t *testing.T) {
+		buf.Reset()
+		rows := []ThroughputRow{{Dataset: "d", P: []int{4}, Throughput: []float64{12345}}}
+		if err := Fig7bCSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if recs[1][2] != "12345.000000" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig8", func(t *testing.T) {
+		buf.Reset()
+		rows := []CommRow{{Dataset: "d", P: []int{4}, CommPct: []float64{5}, CompPct: []float64{95}}}
+		if err := Fig8CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if recs[1][2] != "95.000000" || recs[1][3] != "5.000000" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+
+	t.Run("fig9", func(t *testing.T) {
+		buf.Reset()
+		h := stats.NewHistogram(80, 100, 4)
+		h.Add(99.5)
+		h.Add(99.9)
+		res := &IdentityResult{Dataset: "d", Mapped: 2, Histogram: h}
+		if err := Fig9CSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		recs := parseCSV(t, buf.Bytes())
+		if len(recs) != 5 || recs[4][2] != "2" {
+			t.Errorf("recs = %v", recs)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// QualityRow is one dataset's precision/recall for the mappers of
+// Fig. 5: JEM, the Mashmap-style baseline, and (as an extension) the
+// Minimap2-style seed-and-chain baseline the paper could not compare
+// head-to-head.
+type QualityRow struct {
+	Dataset   string
+	JEM       jem.Quality
+	Mashmap   jem.Quality
+	SeedChain jem.Quality
+}
+
+// Fig5 reproduces the qualitative comparison of Fig. 5 with the
+// paper's default parameters, plus the seed-and-chain third column.
+func Fig5(specs []Spec, scale float64, opts jem.Options) ([]QualityRow, error) {
+	rows := make([]QualityRow, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		bench, err := jem.BuildBenchmark(d.Dataset, opts)
+		if err != nil {
+			return nil, err
+		}
+		mapper, err := jem.NewMapper(d.Contigs, opts)
+		if err != nil {
+			return nil, err
+		}
+		jq := bench.Evaluate(mapper.MapReads(d.Reads))
+
+		baseline := jem.NewMashmapMapper(d.Contigs, opts)
+		mq := bench.Evaluate(baseline.MapReads(d.Reads))
+
+		chain := jem.NewSeedChainMapper(d.Contigs, opts)
+		cq := bench.Evaluate(chain.MapReads(d.Reads))
+
+		rows = append(rows, QualityRow{Dataset: spec.Name, JEM: jq, Mashmap: mq, SeedChain: cq})
+	}
+	return rows, nil
+}
+
+// RenderFig5 writes precision and recall panels like the paper's
+// figure.
+func RenderFig5(w io.Writer, rows []QualityRow) {
+	t := stats.NewTable("Input", "JEM prec", "Mashmap prec", "SeedChain prec",
+		"JEM recall", "Mashmap recall", "SeedChain recall")
+	for _, r := range rows {
+		t.AddRow(r.Dataset,
+			fmt.Sprintf("%.4f", r.JEM.Precision), fmt.Sprintf("%.4f", r.Mashmap.Precision),
+			fmt.Sprintf("%.4f", r.SeedChain.Precision),
+			fmt.Sprintf("%.4f", r.JEM.Recall), fmt.Sprintf("%.4f", r.Mashmap.Recall),
+			fmt.Sprintf("%.4f", r.SeedChain.Recall))
+	}
+	fmt.Fprintln(w, "Fig. 5: mapping quality, JEM-mapper vs Mashmap vs seed-and-chain")
+	fmt.Fprint(w, t.String())
+}
+
+// TrialsPoint is one T value of Fig. 6 for both sketch schemes.
+type TrialsPoint struct {
+	Trials           int
+	JEM              jem.Quality
+	ClassicalMinHash jem.Quality
+}
+
+// Fig6 reproduces the trial sweep of Fig. 6 on one dataset
+// (B. splendens in the paper): precision/recall of JEM vs classical
+// MinHash as T varies.
+func Fig6(spec Spec, scale float64, trials []int, base jem.Options) ([]TrialsPoint, error) {
+	d, err := Build(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	bench, err := jem.BuildBenchmark(d.Dataset, base)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]TrialsPoint, 0, len(trials))
+	for _, T := range trials {
+		opts := base
+		opts.Trials = T
+		mapper, err := jem.NewMapper(d.Contigs, opts)
+		if err != nil {
+			return nil, err
+		}
+		jq := bench.Evaluate(mapper.MapReads(d.Reads))
+
+		mh, err := jem.NewMinHashMapper(d.Contigs, opts)
+		if err != nil {
+			return nil, err
+		}
+		cq := bench.Evaluate(mh.MapReads(d.Reads))
+		points = append(points, TrialsPoint{Trials: T, JEM: jq, ClassicalMinHash: cq})
+	}
+	return points, nil
+}
+
+// RenderFig6 writes the sweep as a table of series.
+func RenderFig6(w io.Writer, dataset string, points []TrialsPoint) {
+	t := stats.NewTable("T", "JEM precision", "JEM recall", "MinHash precision", "MinHash recall")
+	for _, p := range points {
+		t.AddRow(p.Trials,
+			fmt.Sprintf("%.4f", p.JEM.Precision), fmt.Sprintf("%.4f", p.JEM.Recall),
+			fmt.Sprintf("%.4f", p.ClassicalMinHash.Precision), fmt.Sprintf("%.4f", p.ClassicalMinHash.Recall))
+	}
+	fmt.Fprintf(w, "Fig. 6: effect of number of trials on quality (%s)\n", dataset)
+	fmt.Fprint(w, t.String())
+}

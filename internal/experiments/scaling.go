@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+	"repro/internal/dist"
+	"repro/internal/mashmap"
+	"repro/internal/parallel"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// ScalingRow is one dataset of Table II: simulated JEM-mapper runtime
+// per process count plus the Mashmap-baseline multithreaded runtime.
+type ScalingRow struct {
+	Dataset string
+	P       []int
+	// JEMRuntime[i] is the simulated distributed runtime at P[i].
+	JEMRuntime []time.Duration
+	// MashmapRuntime is the measured shared-memory baseline runtime
+	// using all available threads (the paper's t=64 column).
+	MashmapRuntime time.Duration
+}
+
+// Speedup returns JEMRuntime[0]/JEMRuntime[i] — relative speedup
+// against the smallest p, the statistic the paper quotes.
+func (r ScalingRow) Speedup(i int) float64 {
+	if r.JEMRuntime[i] == 0 {
+		return 0
+	}
+	return float64(r.JEMRuntime[0]) / float64(r.JEMRuntime[i])
+}
+
+// Table2 reproduces the strong-scaling study: for every dataset, run
+// the simulated distributed mapper at each p and the Mashmap baseline
+// with full threading.
+func Table2(specs []Spec, scale float64, ps []int, opts jem.Options) ([]ScalingRow, error) {
+	rows := make([]ScalingRow, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Dataset: spec.Name, P: ps}
+		for _, p := range ps {
+			out, err := runDistributed(d, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.JEMRuntime = append(row.JEMRuntime, out.Timeline.Total())
+		}
+		// Mashmap baseline: measured wall time (index + map) with all
+		// threads, mirroring the paper's 64-thread runs.
+		start := time.Now()
+		mm := mashmap.NewMapper(d.Contigs, mashmap.Params{
+			K: opts.K, W: opts.W, SegLen: opts.SegmentLen,
+		}, parallel.Workers(opts.Workers))
+		mm.MapReads(d.Reads, opts.SegmentLen, parallel.Workers(opts.Workers))
+		row.MashmapRuntime = time.Since(start)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runDistributed(d *Dataset, p int, opts jem.Options) (*dist.Output, error) {
+	return dist.Run(d.Contigs, d.Reads, dist.Config{
+		P:      p,
+		Params: jemParams(opts),
+	})
+}
+
+// RenderTable2 writes the scaling table in the paper's layout.
+func RenderTable2(w io.Writer, rows []ScalingRow) {
+	if len(rows) == 0 {
+		return
+	}
+	header := []string{"Input"}
+	for _, p := range rows[0].P {
+		header = append(header, fmt.Sprintf("p=%d", p))
+	}
+	header = append(header, "Mashmap(all threads)", "speedup p_max vs p_min", "JEM vs Mashmap at p_max")
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []interface{}{r.Dataset}
+		for _, d := range r.JEMRuntime {
+			cells = append(cells, fmtDur(d))
+		}
+		last := len(r.JEMRuntime) - 1
+		vsMash := 0.0
+		if r.JEMRuntime[last] > 0 {
+			vsMash = float64(r.MashmapRuntime) / float64(r.JEMRuntime[last])
+		}
+		cells = append(cells, fmtDur(r.MashmapRuntime),
+			fmt.Sprintf("%.2fx", r.Speedup(last)), fmt.Sprintf("%.2fx", vsMash))
+		t.AddRow(cells...)
+	}
+	fmt.Fprintln(w, "Table II: strong scaling (simulated distributed runtime)")
+	fmt.Fprint(w, t.String())
+}
+
+// BreakdownRow is Fig. 7a: per-step simulated time at a fixed p.
+type BreakdownRow struct {
+	Dataset string
+	P       int
+	Steps   []jem.StepTime
+	Total   time.Duration
+}
+
+// Fig7a reproduces the runtime breakdown at p=16.
+func Fig7a(specs []Spec, scale float64, p int, opts jem.Options) ([]BreakdownRow, error) {
+	rows := make([]BreakdownRow, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		out, err := runDistributed(d, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := BreakdownRow{Dataset: spec.Name, P: p, Total: out.Timeline.Total()}
+		for _, st := range out.Timeline.Steps {
+			row.Steps = append(row.Steps, jem.StepTime{Name: st.Name, Duration: st.Sim})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7a writes the per-step breakdown.
+func RenderFig7a(w io.Writer, rows []BreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	header := []string{"Input"}
+	for _, st := range rows[0].Steps {
+		header = append(header, st.Name)
+	}
+	header = append(header, "total")
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []interface{}{r.Dataset}
+		for _, st := range r.Steps {
+			cells = append(cells, fmtDur(st.Duration))
+		}
+		cells = append(cells, fmtDur(r.Total))
+		t.AddRow(cells...)
+	}
+	fmt.Fprintf(w, "Fig. 7a: runtime breakdown by step (p=%d)\n", rows[0].P)
+	fmt.Fprint(w, t.String())
+}
+
+// ThroughputRow is Fig. 7b: querying throughput per p.
+type ThroughputRow struct {
+	Dataset    string
+	P          []int
+	Throughput []float64 // query segments per simulated second
+}
+
+// Fig7b reproduces the querying-throughput scaling.
+func Fig7b(specs []Spec, scale float64, ps []int, opts jem.Options) ([]ThroughputRow, error) {
+	rows := make([]ThroughputRow, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := ThroughputRow{Dataset: spec.Name, P: ps}
+		for _, p := range ps {
+			out, err := runDistributed(d, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Throughput = append(row.Throughput, out.Throughput())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7b writes the throughput series.
+func RenderFig7b(w io.Writer, rows []ThroughputRow) {
+	if len(rows) == 0 {
+		return
+	}
+	header := []string{"Input"}
+	for _, p := range rows[0].P {
+		header = append(header, fmt.Sprintf("p=%d", p))
+	}
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []interface{}{r.Dataset}
+		for _, th := range r.Throughput {
+			cells = append(cells, fmt.Sprintf("%.0f q/s", th))
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Fprintln(w, "Fig. 7b: querying throughput (query segments per simulated second)")
+	fmt.Fprint(w, t.String())
+}
+
+// CommRow is Fig. 8: computation vs communication percentages per p.
+type CommRow struct {
+	Dataset string
+	P       []int
+	CommPct []float64
+	CompPct []float64
+}
+
+// Fig8 reproduces the computation/communication split for the chosen
+// datasets (Human chr 7 and B. splendens in the paper).
+func Fig8(specs []Spec, scale float64, ps []int, opts jem.Options) ([]CommRow, error) {
+	rows := make([]CommRow, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := CommRow{Dataset: spec.Name, P: ps}
+		for _, p := range ps {
+			out, err := runDistributed(d, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			cf := out.Timeline.CommFraction()
+			row.CommPct = append(row.CommPct, 100*cf)
+			row.CompPct = append(row.CompPct, 100*(1-cf))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig8 writes the split percentages.
+func RenderFig8(w io.Writer, rows []CommRow) {
+	if len(rows) == 0 {
+		return
+	}
+	header := []string{"Input", "kind"}
+	for _, p := range rows[0].P {
+		header = append(header, fmt.Sprintf("p=%d", p))
+	}
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		comp := []interface{}{r.Dataset, "compute %"}
+		comm := []interface{}{"", "comm %"}
+		for i := range r.P {
+			comp = append(comp, fmt.Sprintf("%.1f", r.CompPct[i]))
+			comm = append(comm, fmt.Sprintf("%.1f", r.CommPct[i]))
+		}
+		t.AddRow(comp...)
+		t.AddRow(comm...)
+	}
+	fmt.Fprintln(w, "Fig. 8: computation vs communication time")
+	fmt.Fprint(w, t.String())
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return d.String()
+	}
+}
+
+func jemParams(o jem.Options) sketch.Params {
+	return sketch.Params{K: o.K, W: o.W, T: o.Trials, L: o.SegmentLen, Seed: o.Seed}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Table1Row reproduces one row of the paper's Table I: subject
+// statistics of the Minia-style contigs and query statistics of the
+// HiFi reads.
+type Table1Row struct {
+	Dataset      string
+	GenomeLen    int
+	NumContigs   int // contigs ≥ 500 bp, as in the paper
+	SubjectBases int64
+	ContigMean   float64
+	ContigStdDev float64
+	NumReads     int
+	QueryBases   int64
+	ReadMean     float64
+	ReadStdDev   float64
+}
+
+// Table1 builds every dataset and collects its statistics.
+func Table1(specs []Spec, scale float64) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(specs))
+	for _, spec := range specs {
+		d, err := Build(spec, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Dataset: spec.Name, GenomeLen: spec.GenomeLen(scale)}
+		var clen stats.Summary
+		for i := range d.Contigs {
+			n := len(d.Contigs[i].Seq)
+			if n < 500 {
+				continue
+			}
+			row.NumContigs++
+			row.SubjectBases += int64(n)
+			clen.Add(float64(n))
+		}
+		row.ContigMean, row.ContigStdDev = clen.Mean(), clen.StdDev()
+		var rlen stats.Summary
+		for i := range d.Reads {
+			n := len(d.Reads[i].Seq)
+			row.NumReads++
+			row.QueryBases += int64(n)
+			rlen.Add(float64(n))
+		}
+		row.ReadMean, row.ReadStdDev = rlen.Mean(), rlen.StdDev()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 writes the rows in the paper's column layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	t := stats.NewTable("Input", "Genome len (bp)", "No. contigs (>=500bp)",
+		"Subject bp", "Contig len (avg+/-sd)", "No. reads", "Query bp", "Read len (avg+/-sd)")
+	for _, r := range rows {
+		t.AddRow(r.Dataset, r.GenomeLen, r.NumContigs, r.SubjectBases,
+			fmt.Sprintf("%.0f +/- %.0f", r.ContigMean, r.ContigStdDev),
+			r.NumReads, r.QueryBases,
+			fmt.Sprintf("%.0f +/- %.0f", r.ReadMean, r.ReadStdDev))
+	}
+	fmt.Fprintln(w, "Table I: input data sets")
+	fmt.Fprint(w, t.String())
+}

@@ -1,0 +1,163 @@
+// Package minhash implements the classical MinHash mapper used as the
+// second baseline in the paper's Fig. 6: each subject contributes T
+// whole-sequence minhashes (one per random trial) to the sketch table,
+// with no minimizer windowing and no ℓ-interval constraint. Queries
+// are sketched the same way and scored by trial-hit frequency. The
+// point of the comparison is that, without the interval constraint,
+// sketches of long contigs routinely fall outside the region a ℓ-long
+// end segment overlaps, so far more trials are needed for the same
+// recall.
+package minhash
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+// Mapper is the classical-MinHash mapper.
+type Mapper struct {
+	sk    *sketch.Sketcher
+	table *sketch.Table
+	nsubj int
+}
+
+// NewMapper sketches all contigs with T whole-sequence minhashes.
+// Parameters K, T and Seed of p are honored; W and L are irrelevant to
+// the classical scheme (all k-mers participate) but validated anyway
+// so configurations stay interchangeable with the JEM mapper.
+func NewMapper(contigs []seq.Record, p sketch.Params, workers int) (*Mapper, error) {
+	sk, err := sketch.NewSketcher(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapper{sk: sk, table: sketch.NewTable(p.T), nsubj: len(contigs)}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sketches := make([][]sketch.Word, len(contigs))
+	var wg sync.WaitGroup
+	idx := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sketches[i] = sk.MinHashSketch(contigs[i].Seq)
+			}
+		}()
+	}
+	for i := range contigs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, words := range sketches {
+		if words == nil {
+			continue
+		}
+		m.table.InsertQueryWords(int32(i), words)
+	}
+	return m, nil
+}
+
+// Session holds per-goroutine lazy counters, mirroring core.Session.
+type Session struct {
+	m     *Mapper
+	count []int32
+	lastq []int32
+	qid   int32
+	cand  []int32
+}
+
+// NewSession creates a mapping session.
+func (m *Mapper) NewSession() *Session {
+	s := &Session{
+		m:     m,
+		count: make([]int32, m.nsubj),
+		lastq: make([]int32, m.nsubj),
+	}
+	for i := range s.lastq {
+		s.lastq[i] = -1
+	}
+	return s
+}
+
+// MapSegment maps one end segment by classical MinHash collision
+// counting.
+func (s *Session) MapSegment(segment []byte) (core.Hit, bool) {
+	words := s.m.sk.MinHashSketch(segment)
+	if words == nil {
+		return core.Hit{Subject: -1}, false
+	}
+	s.qid++
+	qid := s.qid
+	s.cand = s.cand[:0]
+	for t, w := range words {
+		for _, p := range s.m.table.Lookup(t, w) {
+			subj := p.Subject
+			if s.lastq[subj] != qid {
+				s.lastq[subj] = qid
+				s.count[subj] = 0
+				s.cand = append(s.cand, subj)
+			}
+			s.count[subj]++
+		}
+	}
+	if len(s.cand) == 0 {
+		return core.Hit{Subject: -1}, false
+	}
+	best := core.Hit{Subject: -1, Count: 0}
+	for _, subj := range s.cand {
+		c := s.count[subj]
+		if c > best.Count || (c == best.Count && subj < best.Subject) {
+			best = core.Hit{Subject: subj, Count: c}
+		}
+	}
+	return best, true
+}
+
+// MapReads maps the end segments of all reads, producing results
+// shaped like core.Mapper.MapReads for the shared evaluator.
+func (m *Mapper) MapReads(reads []seq.Record, l int, workers int) []core.Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]core.Result, len(reads))
+	var wg sync.WaitGroup
+	idx := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := m.NewSession()
+			for i := range idx {
+				segs, kinds := core.EndSegments(reads[i].Seq, l)
+				rs := make([]core.Result, len(segs))
+				for si, seg := range segs {
+					hit, ok := sess.MapSegment(seg)
+					r := core.Result{ReadIndex: int32(i), Kind: kinds[si], Subject: -1}
+					if ok {
+						r.Subject = hit.Subject
+						r.Count = hit.Count
+					}
+					rs[si] = r
+				}
+				out[i] = rs
+			}
+		}()
+	}
+	for i := range reads {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	flat := make([]core.Result, 0, 2*len(reads))
+	for _, rs := range out {
+		flat = append(flat, rs...)
+	}
+	return flat
+}

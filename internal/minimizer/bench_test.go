@@ -1,0 +1,41 @@
+package minimizer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeq(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	return randDNA(rng, n)
+}
+
+func BenchmarkExtractLex(b *testing.B) {
+	s := benchSeq(1 << 20)
+	p := Params{K: 16, W: 100}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(s, p)
+	}
+}
+
+func BenchmarkExtractHash(b *testing.B) {
+	s := benchSeq(1 << 20)
+	p := Params{K: 16, W: 100, Order: OrderHash}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(s, p)
+	}
+}
+
+func BenchmarkExtractSmallWindow(b *testing.B) {
+	s := benchSeq(1 << 20)
+	p := Params{K: 16, W: 10}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(s, p)
+	}
+}

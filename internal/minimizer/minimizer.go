@@ -1,0 +1,220 @@
+// Package minimizer implements (w,k)-minimizer extraction (winnowing).
+//
+// Given a sequence s, a k-mer size k and a window size w, the
+// minimizer of a window of w consecutive k-mers is the one with the
+// smallest ordering value. Following the paper (§III-B.2 and the
+// implementation notes), the ordering is the lexicographic order of
+// the *canonical* k-mer — the smaller of the k-mer and its reverse
+// complement — which equals numeric order of the 2-bit packed word.
+//
+// A minimizer tuple ⟨k_i, p_i⟩ is appended to the output list Mo(s,w)
+// only when the minimizer changes or when the previous occurrence
+// slides out of the window, exactly the dedup rule in §IV-A(c). The
+// output list is sorted by position by construction.
+package minimizer
+
+import (
+	"fmt"
+
+	"repro/internal/kmer"
+)
+
+// Tuple is one minimizer occurrence: the canonical packed k-mer and the
+// start position of the window-minimal k-mer on the sequence.
+// FwdIsCanon records whether the forward-strand k-mer at Pos equals
+// the canonical form; two sequences share an orientation at a common
+// minimizer iff their FwdIsCanon flags agree, which is what lets
+// seed-chaining recover relative strand from canonical sketches.
+type Tuple struct {
+	Kmer       kmer.Word
+	Pos        int32
+	FwdIsCanon bool
+}
+
+// Ordering selects how k-mers are ranked when picking the window
+// minimum.
+type Ordering int
+
+const (
+	// OrderLex ranks canonical k-mers lexicographically — the paper's
+	// choice ("we use the lexicographically smallest k-mer as this
+	// hash function", §III-B.2).
+	OrderLex Ordering = iota
+	// OrderHash ranks canonical k-mers by an invertible 64-bit mix of
+	// their packed value, the minimap2-style choice. It avoids the
+	// poly-A bias of lexicographic ordering and is exposed for the
+	// ablation studies; the selected Tuple still carries the k-mer
+	// itself.
+	OrderHash
+)
+
+// Params bundles the winnowing parameters.
+type Params struct {
+	K int // k-mer size (1..kmer.MaxK)
+	W int // window size, in number of consecutive k-mers (≥1)
+	// Order is the ranking used to pick window minima (default
+	// OrderLex, the paper's setting).
+	Order Ordering
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.K <= 0 || p.K > kmer.MaxK {
+		return fmt.Errorf("minimizer: k=%d out of range [1,%d]", p.K, kmer.MaxK)
+	}
+	if p.W <= 0 {
+		return fmt.Errorf("minimizer: w=%d must be positive", p.W)
+	}
+	return nil
+}
+
+// entry is one k-mer inside the sliding monotone deque. key is the
+// ordering rank (the word itself under OrderLex, its mix under
+// OrderHash).
+type entry struct {
+	key        uint64
+	word       kmer.Word
+	pos        int32
+	fwdIsCanon bool
+}
+
+// mix64 is the Murmur3 finalizer, an invertible 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rank returns the ordering key of a canonical k-mer under p.Order.
+func (p Params) rank(w kmer.Word) uint64 {
+	if p.Order == OrderHash {
+		return mix64(uint64(w))
+	}
+	return uint64(w)
+}
+
+// Extract returns the position-sorted minimizer tuple list Mo(s,w) of
+// s. It never returns an error for sequences shorter than k — the list
+// is simply empty. Ambiguous bases break k-mer windows but winnowing
+// resumes after them.
+func Extract(s []byte, p Params) []Tuple {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	est := len(s)/(p.W/2+1) + 4
+	out := make([]Tuple, 0, est)
+	return AppendExtract(out, s, p)
+}
+
+// AppendExtract appends the minimizers of s to dst and returns the
+// extended slice, allowing callers to reuse buffers across sequences.
+func AppendExtract(dst []Tuple, s []byte, p Params) []Tuple {
+	it := kmer.NewIterator(s, p.K)
+
+	// Monotone deque of candidate minimizers within the current
+	// window, increasing by word value; front is the minimizer.
+	var deque []entry
+	head := 0
+	idx := -1            // index of the current k-mer within its contiguous run
+	lastPos := int32(-1) // position of the previously emitted tuple
+	prevKmerPos := -2
+
+	flushRun := func() {
+		deque = deque[:0]
+		head = 0
+		idx = -1
+	}
+
+	for {
+		fwd, canon, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		if pos != prevKmerPos+1 {
+			// Ambiguity gap: restart windowing.
+			flushRun()
+		}
+		prevKmerPos = pos
+		idx++
+
+		// Evict candidates that left the window. Within a contiguous
+		// run, k-mer index and sequence position advance in lockstep,
+		// so the window [idx-w+1, idx] corresponds to start positions
+		// ≥ pos-w+1.
+		for head < len(deque) && int(deque[head].pos) < pos-p.W+1 {
+			head++
+		}
+		// Maintain monotonicity: pop strictly-larger candidates from
+		// the back. Using > keeps the leftmost occurrence of ties,
+		// matching "smallest, first occurring" choice.
+		key := p.rank(canon)
+		for len(deque) > head && deque[len(deque)-1].key > key {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, entry{key, canon, int32(pos), fwd == canon})
+		// Compact the slice occasionally so head doesn't grow without bound.
+		if head > 64 && head*2 > len(deque) {
+			n := copy(deque, deque[head:])
+			deque = deque[:n]
+			head = 0
+		}
+
+		if idx >= p.W-1 {
+			min := deque[head]
+			// Emit when the minimizer changes or re-occurs at a new
+			// position (the previous one went out of bounds).
+			if min.pos != lastPos {
+				dst = append(dst, Tuple{Kmer: min.word, Pos: min.pos, FwdIsCanon: min.fwdIsCanon})
+				lastPos = min.pos
+			}
+		}
+	}
+	return dst
+}
+
+// Density returns |Mo(s,w)| / #k-mers for s — the expected value is
+// roughly 2/(w+1) for random sequences, a useful sanity statistic.
+func Density(s []byte, p Params) float64 {
+	n := kmer.Count(s, p.K)
+	if n == 0 {
+		return 0
+	}
+	return float64(len(Extract(s, p))) / float64(n)
+}
+
+// Set returns the distinct canonical minimizer k-mers of s — the
+// minimizer sketch M(s,w) used by the minimizer Jaccard estimate.
+func Set(s []byte, p Params) map[kmer.Word]struct{} {
+	tuples := Extract(s, p)
+	out := make(map[kmer.Word]struct{}, len(tuples))
+	for _, t := range tuples {
+		out[t.Kmer] = struct{}{}
+	}
+	return out
+}
+
+// Jaccard computes the minimizer Jaccard estimate J_m(a,b;w) =
+// J(M(a,w), M(b,w)) from the paper. It returns 0 when both minimizer
+// sets are empty.
+func Jaccard(a, b []byte, p Params) float64 {
+	sa := Set(a, p)
+	sb := Set(b, p)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	small, large := sa, sb
+	if len(sb) < len(sa) {
+		small, large = sb, sa
+	}
+	for w := range small {
+		if _, ok := large[w]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}

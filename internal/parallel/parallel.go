@@ -1,0 +1,91 @@
+// Package parallel provides the small shared-memory parallelism
+// helpers used across the repository: a bounded parallel-for over an
+// index range and a worker-state variant for loops that need per-
+// goroutine scratch (sessions, buffers).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count argument: values ≤ 0 become
+// GOMAXPROCS.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// ForEach calls fn(i) for every i in [0,n) using at most `workers`
+// goroutines. Iterations are distributed dynamically, so uneven work
+// per item balances automatically.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// ForEachWorker is ForEach with per-goroutine state: setup runs once
+// in each worker goroutine and its result is passed to every fn call
+// that worker executes.
+func ForEachWorker[S any](n, workers int, setup func() S, fn func(state S, i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		s := setup()
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return
+	}
+	idx := make(chan int, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := setup()
+			for i := range idx {
+				fn(s, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,293 @@
+package scaffold
+
+import (
+	"sort"
+)
+
+// Port identifies one end of a contig.
+type Port uint8
+
+const (
+	// Head is the contig's left (coordinate-0) end.
+	Head Port = iota
+	// Tail is the contig's right end.
+	Tail
+)
+
+func (p Port) String() string {
+	if p == Head {
+		return "head"
+	}
+	return "tail"
+}
+
+// Evidence is one read's worth of adjacency evidence between two
+// contigs, derived from a positional mapping of the read's two end
+// segments (see DeriveEvidence): which end (port) of each contig the
+// read attaches to, plus a gap estimate.
+type Evidence struct {
+	A, B         int32
+	PortA, PortB Port
+	// Gap is the estimated number of bases between the two contig
+	// ends; negative values indicate overlap.
+	Gap int
+}
+
+// SegmentObservation is the positional mapping of one end segment in
+// the form the orientation logic needs. Prefix says whether this is
+// the read's prefix (true) or suffix (false) segment.
+type SegmentObservation struct {
+	ReadIndex    int32
+	Prefix       bool
+	Contig       int32
+	Reverse      bool // segment maps to the contig's reverse strand
+	TargetStart  int  // estimated segment start on the contig
+	TargetEnd    int  // estimated segment end on the contig
+	ContigLength int
+	ReadLength   int
+	SegmentLen   int
+}
+
+// DeriveEvidence pairs up prefix/suffix observations per read and
+// derives oriented adjacency evidence.
+//
+// Geometry: the read's interior lies to the RIGHT of its prefix
+// segment and to the LEFT of its suffix segment. A prefix segment
+// mapping forward to contig A therefore exits A through its tail
+// (coordinates past TargetEnd); mapping in reverse it exits through
+// A's head. The suffix segment is the mirror image. The gap estimate
+// is the read interior length minus the contig overhangs the read
+// still covers on each side.
+func DeriveEvidence(obs []SegmentObservation) []Evidence {
+	type pair struct {
+		p, s *SegmentObservation
+	}
+	perRead := map[int32]*pair{}
+	for i := range obs {
+		o := &obs[i]
+		pr := perRead[o.ReadIndex]
+		if pr == nil {
+			pr = &pair{}
+			perRead[o.ReadIndex] = pr
+		}
+		if o.Prefix {
+			pr.p = o
+		} else {
+			pr.s = o
+		}
+	}
+	var out []Evidence
+	for _, pr := range perRead {
+		if pr.p == nil || pr.s == nil || pr.p.Contig == pr.s.Contig {
+			continue
+		}
+		p, s := pr.p, pr.s
+		ev := Evidence{A: p.Contig, B: s.Contig}
+		var overhangA, overhangB int
+		if !p.Reverse {
+			ev.PortA = Tail
+			overhangA = p.ContigLength - p.TargetEnd
+		} else {
+			ev.PortA = Head
+			overhangA = p.TargetStart
+		}
+		if !s.Reverse {
+			ev.PortB = Head
+			overhangB = s.TargetStart
+		} else {
+			ev.PortB = Tail
+			overhangB = s.ContigLength - s.TargetEnd
+		}
+		interior := p.ReadLength - 2*p.SegmentLen
+		if interior < 0 {
+			interior = 0
+		}
+		ev.Gap = interior - overhangA - overhangB
+		out = append(out, ev)
+	}
+	return out
+}
+
+// OrientedLink aggregates evidence for one (contig end, contig end)
+// adjacency.
+type OrientedLink struct {
+	A, B         int32
+	PortA, PortB Port
+	Support      int
+	// GapMedian is the median gap estimate across supporting reads.
+	GapMedian int
+}
+
+// AggregateEvidence groups evidence into links with support counts and
+// median gaps, sorted by descending support (ties by ids/ports).
+func AggregateEvidence(evidence []Evidence) []OrientedLink {
+	type key struct {
+		a, b   int32
+		pa, pb Port
+	}
+	gaps := map[key][]int{}
+	for _, ev := range evidence {
+		k := key{ev.A, ev.B, ev.PortA, ev.PortB}
+		// Canonicalize direction: smaller contig id first.
+		if ev.B < ev.A {
+			k = key{ev.B, ev.A, ev.PortB, ev.PortA}
+		}
+		gaps[k] = append(gaps[k], ev.Gap)
+	}
+	links := make([]OrientedLink, 0, len(gaps))
+	for k, gs := range gaps {
+		sort.Ints(gs)
+		links = append(links, OrientedLink{
+			A: k.a, B: k.b, PortA: k.pa, PortB: k.pb,
+			Support:   len(gs),
+			GapMedian: gs[len(gs)/2],
+		})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Support != links[j].Support {
+			return links[i].Support > links[j].Support
+		}
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		if links[i].B != links[j].B {
+			return links[i].B < links[j].B
+		}
+		if links[i].PortA != links[j].PortA {
+			return links[i].PortA < links[j].PortA
+		}
+		return links[i].PortB < links[j].PortB
+	})
+	return links
+}
+
+// Placement is one contig inside an oriented scaffold.
+type Placement struct {
+	Contig int32
+	// Reversed is true when the contig enters the scaffold
+	// reverse-complemented.
+	Reversed bool
+	// GapBefore is the estimated gap to the previous contig in the
+	// chain (0 for the first).
+	GapBefore int
+}
+
+// OrientedScaffolds is the result of oriented chain construction.
+type OrientedScaffolds struct {
+	Chains        [][]Placement
+	Singletons    []int32
+	AcceptedLinks int
+}
+
+// BuildOriented chains contigs respecting per-end degree limits: each
+// contig port joins at most one link, links are accepted in descending
+// support order, and cycles are rejected — yielding oriented paths
+// with gap estimates.
+func BuildOriented(links []OrientedLink, nContigs, minSupport int) *OrientedScaffolds {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	parent := make([]int32, nContigs)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	type edge struct {
+		other int32
+		port  Port // the other contig's port used
+		gap   int
+	}
+	// portUsed[c][p] records whether port p of contig c is taken;
+	// adj[c][p] holds the accepted edge at that port.
+	portUsed := make([][2]bool, nContigs)
+	adj := make([][2]*edge, nContigs)
+	accepted := 0
+	for _, l := range links {
+		if l.Support < minSupport {
+			continue
+		}
+		if portUsed[l.A][l.PortA] || portUsed[l.B][l.PortB] {
+			continue
+		}
+		ra, rb := find(l.A), find(l.B)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		portUsed[l.A][l.PortA] = true
+		portUsed[l.B][l.PortB] = true
+		adj[l.A][l.PortA] = &edge{other: l.B, port: l.PortB, gap: l.GapMedian}
+		adj[l.B][l.PortB] = &edge{other: l.A, port: l.PortA, gap: l.GapMedian}
+		accepted++
+	}
+
+	out := &OrientedScaffolds{AcceptedLinks: accepted}
+	visited := make([]bool, nContigs)
+	degree := func(c int32) int {
+		d := 0
+		if portUsed[c][Head] {
+			d++
+		}
+		if portUsed[c][Tail] {
+			d++
+		}
+		return d
+	}
+	for c := int32(0); int(c) < nContigs; c++ {
+		if visited[c] || degree(c) > 1 {
+			continue
+		}
+		if degree(c) == 0 {
+			visited[c] = true
+			out.Singletons = append(out.Singletons, c)
+			continue
+		}
+		// Walk from this endpoint. Orientation rule: a contig is
+		// placed forward when the chain leaves through its tail (for
+		// the first contig) or enters through its head (for later
+		// contigs); otherwise it is reversed.
+		var exitPort Port
+		if portUsed[c][Tail] {
+			exitPort = Tail
+		} else {
+			exitPort = Head
+		}
+		chain := []Placement{{Contig: c, Reversed: exitPort == Head}}
+		visited[c] = true
+		cur, port := c, exitPort
+		for {
+			e := adj[cur][port]
+			if e == nil {
+				break
+			}
+			next := e.other
+			if visited[next] {
+				break
+			}
+			// The chain enters `next` through e.port; forward
+			// placement means entering through the head.
+			chain = append(chain, Placement{
+				Contig:    next,
+				Reversed:  e.port == Tail,
+				GapBefore: e.gap,
+			})
+			visited[next] = true
+			// Leave through the opposite port.
+			cur = next
+			if e.port == Head {
+				port = Tail
+			} else {
+				port = Head
+			}
+		}
+		out.Chains = append(out.Chains, chain)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package scaffold
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// obs builds a SegmentObservation with the common test geometry:
+// reads of length 3000, segments of 500, contigs of 5000.
+func obs(read int32, prefix bool, contig int32, reverse bool, tstart int) SegmentObservation {
+	return SegmentObservation{
+		ReadIndex: read, Prefix: prefix, Contig: contig, Reverse: reverse,
+		TargetStart: tstart, TargetEnd: tstart + 500,
+		ContigLength: 5000, ReadLength: 3000, SegmentLen: 500,
+	}
+}
+
+func TestDeriveEvidenceForwardRead(t *testing.T) {
+	// Read spans the gap between contig 0 (via its tail) and contig 1
+	// (via its head): prefix at 0:[4000,4500) forward, suffix at
+	// 1:[500,1000) forward. True gap = interior (2000) − overhangs
+	// (500 + 500) = 1000.
+	evidence := DeriveEvidence([]SegmentObservation{
+		obs(0, true, 0, false, 4000),
+		obs(0, false, 1, false, 500),
+	})
+	want := []Evidence{{A: 0, B: 1, PortA: Tail, PortB: Head, Gap: 1000}}
+	if !reflect.DeepEqual(evidence, want) {
+		t.Errorf("got %+v want %+v", evidence, want)
+	}
+}
+
+func TestDeriveEvidenceReverseRead(t *testing.T) {
+	// The same physical adjacency sampled on the reverse strand: the
+	// read's prefix now maps (reversed) to contig 1 and its suffix
+	// (reversed) to contig 0. Canonical aggregation must unify both.
+	fwd := DeriveEvidence([]SegmentObservation{
+		obs(0, true, 0, false, 4000),
+		obs(0, false, 1, false, 500),
+	})
+	rev := DeriveEvidence([]SegmentObservation{
+		obs(1, true, 1, true, 500),
+		obs(1, false, 0, true, 4000),
+	})
+	links := AggregateEvidence(append(fwd, rev...))
+	if len(links) != 1 {
+		t.Fatalf("strand-mirrored evidence did not unify: %+v", links)
+	}
+	l := links[0]
+	if l.Support != 2 || l.A != 0 || l.B != 1 || l.PortA != Tail || l.PortB != Head {
+		t.Errorf("link = %+v", l)
+	}
+	if l.GapMedian != 1000 {
+		t.Errorf("gap median = %d want 1000", l.GapMedian)
+	}
+}
+
+func TestDeriveEvidenceReversedContig(t *testing.T) {
+	// Contig 1 was assembled reverse-complemented relative to the
+	// genome: the suffix segment maps to it in reverse, near its tail.
+	evidence := DeriveEvidence([]SegmentObservation{
+		obs(0, true, 0, false, 4000),
+		obs(0, false, 1, true, 4000), // local coords of the flipped contig
+	})
+	want := []Evidence{{A: 0, B: 1, PortA: Tail, PortB: Tail, Gap: 1000}}
+	if !reflect.DeepEqual(evidence, want) {
+		t.Errorf("got %+v want %+v", evidence, want)
+	}
+}
+
+func TestDeriveEvidenceSkipsIncompleteAndSelf(t *testing.T) {
+	evidence := DeriveEvidence([]SegmentObservation{
+		obs(0, true, 0, false, 4000), // prefix only
+		obs(1, true, 2, false, 100),  // both ends on the same contig
+		obs(1, false, 2, false, 3000),
+	})
+	if len(evidence) != 0 {
+		t.Errorf("got %+v", evidence)
+	}
+}
+
+func TestBuildOrientedChain(t *testing.T) {
+	// 0 tail — head 1 tail — head 2: a forward chain.
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Head, Support: 5, GapMedian: 800},
+		{A: 1, B: 2, PortA: Tail, PortB: Head, Support: 4, GapMedian: -50},
+	}
+	sc := BuildOriented(links, 4, 1)
+	if sc.AcceptedLinks != 2 || len(sc.Chains) != 1 {
+		t.Fatalf("scaffolds = %+v", sc)
+	}
+	chain := sc.Chains[0]
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v", chain)
+	}
+	// Either orientation of the whole chain is valid; normalize.
+	if chain[0].Contig == 2 {
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		for i := range chain {
+			chain[i].Reversed = !chain[i].Reversed
+		}
+	}
+	for i, p := range chain {
+		if p.Contig != int32(i) || p.Reversed {
+			t.Errorf("placement %d = %+v", i, p)
+		}
+	}
+	if chain[1].GapBefore != 800 || chain[2].GapBefore != -50 {
+		t.Errorf("gaps = %d,%d", chain[1].GapBefore, chain[2].GapBefore)
+	}
+	if len(sc.Singletons) != 1 || sc.Singletons[0] != 3 {
+		t.Errorf("singletons = %v", sc.Singletons)
+	}
+}
+
+func TestBuildOrientedReversedPlacement(t *testing.T) {
+	// 0 tail — tail 1: contig 1 must be placed reverse-complemented.
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Tail, Support: 3, GapMedian: 10},
+	}
+	sc := BuildOriented(links, 2, 1)
+	if len(sc.Chains) != 1 || len(sc.Chains[0]) != 2 {
+		t.Fatalf("scaffolds = %+v", sc)
+	}
+	chain := sc.Chains[0]
+	// Both (0 fwd, 1 rev) and (1 fwd, 0 rev) describe the same join.
+	a, b := chain[0], chain[1]
+	if a.Reversed == b.Reversed {
+		t.Errorf("tail-tail join needs exactly one reversal: %+v", chain)
+	}
+}
+
+func TestBuildOrientedPortExclusivity(t *testing.T) {
+	// Two links compete for contig 0's tail; only the stronger wins,
+	// but a link to 0's head is still allowed.
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Head, Support: 9},
+		{A: 0, B: 2, PortA: Tail, PortB: Head, Support: 5},
+		{A: 0, B: 3, PortA: Head, PortB: Head, Support: 4},
+	}
+	sc := BuildOriented(links, 4, 1)
+	if sc.AcceptedLinks != 2 {
+		t.Fatalf("accepted %d links", sc.AcceptedLinks)
+	}
+	inChain := map[int32]bool{}
+	for _, ch := range sc.Chains {
+		for _, p := range ch {
+			inChain[p.Contig] = true
+		}
+	}
+	if inChain[2] {
+		t.Errorf("losing link attached anyway: %+v", sc.Chains)
+	}
+	if !inChain[3] || !inChain[1] {
+		t.Errorf("head link should coexist with tail link: %+v", sc.Chains)
+	}
+}
+
+func TestBuildOrientedRejectsCycle(t *testing.T) {
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Head, Support: 5},
+		{A: 1, B: 2, PortA: Tail, PortB: Head, Support: 5},
+		{A: 2, B: 0, PortA: Tail, PortB: Head, Support: 5},
+	}
+	sc := BuildOriented(links, 3, 1)
+	if sc.AcceptedLinks != 2 {
+		t.Errorf("cycle not rejected: %d links", sc.AcceptedLinks)
+	}
+}
+
+func TestBuildOrientedMinSupport(t *testing.T) {
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Head, Support: 5},
+		{A: 1, B: 2, PortA: Tail, PortB: Head, Support: 1},
+	}
+	sc := BuildOriented(links, 3, 3)
+	if sc.AcceptedLinks != 1 {
+		t.Errorf("accepted %d links", sc.AcceptedLinks)
+	}
+}
+
+func TestWriteAGP(t *testing.T) {
+	links := []OrientedLink{
+		{A: 0, B: 1, PortA: Tail, PortB: Tail, Support: 3, GapMedian: 120},
+	}
+	sc := BuildOriented(links, 3, 1)
+	var buf strings.Builder
+	name := func(c int32) string { return []string{"cA", "cB", "cC"}[c] }
+	length := func(c int32) int { return []int{100, 200, 50}[c] }
+	if err := WriteAGP(&buf, sc, name, length, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Chain of 2 contigs: W, N, W = 3 lines; singleton cC: 1 line.
+	if len(lines) != 4 {
+		t.Fatalf("got %d AGP lines:\n%s", len(lines), buf.String())
+	}
+	// First component starts at 1.
+	f0 := strings.Split(lines[0], "\t")
+	if f0[1] != "1" || f0[4] != "W" {
+		t.Errorf("line 0: %q", lines[0])
+	}
+	// Gap line has type N and length 120.
+	f1 := strings.Split(lines[1], "\t")
+	if f1[4] != "N" || f1[5] != "120" {
+		t.Errorf("line 1: %q", lines[1])
+	}
+	// Tail-tail join → exactly one reversed contig.
+	f2 := strings.Split(lines[2], "\t")
+	o0, o2 := f0[len(f0)-1], f2[len(f2)-1]
+	if (o0 == "-") == (o2 == "-") {
+		t.Errorf("orientations %s/%s for tail-tail join", o0, o2)
+	}
+	// Coordinates are contiguous: line2 starts right after the gap.
+	// line0 spans its contig; gap 120; line2 object start = prev end+1.
+	if f1[1] == "" || f2[1] == "" {
+		t.Errorf("missing coordinates")
+	}
+	// Singleton line describes cC fully.
+	f3 := strings.Split(lines[3], "\t")
+	if f3[0] != "cC" || f3[2] != "50" {
+		t.Errorf("singleton line: %q", lines[3])
+	}
+	// Negative/small gaps clamp to minGap.
+	links[0].GapMedian = -500
+	sc = BuildOriented(links, 2, 1)
+	buf.Reset()
+	if err := WriteAGP(&buf, sc, name, length, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\tN\t10\t") {
+		t.Errorf("overlap not clamped:\n%s", buf.String())
+	}
+}
+
+func TestPortString(t *testing.T) {
+	if Head.String() != "head" || Tail.String() != "tail" {
+		t.Error("port strings")
+	}
+}

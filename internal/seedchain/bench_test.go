@@ -1,0 +1,47 @@
+package seedchain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func benchWorld(b *testing.B) (*Mapper, []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ref := randDNA(rng, 200_000)
+	var contigs []seq.Record
+	for pos := 0; pos+4000 <= len(ref); pos += 4000 {
+		contigs = append(contigs, seq.Record{ID: fmt.Sprintf("c%d", len(contigs)), Seq: ref[pos : pos+4000]})
+	}
+	m := NewMapper(contigs, Defaults(), 0)
+	pos := rng.Intn(len(ref) - 1000)
+	return m, ref[pos : pos+1000]
+}
+
+func BenchmarkSeedChainMapSegment(b *testing.B) {
+	m, seg := benchWorld(b)
+	b.SetBytes(int64(len(seg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MapSegment(seg)
+	}
+}
+
+func BenchmarkSeedChainIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var contigs []seq.Record
+	var bases int64
+	for i := 0; i < 50; i++ {
+		n := 2000 + rng.Intn(4000)
+		contigs = append(contigs, seq.Record{ID: fmt.Sprintf("c%d", i), Seq: randDNA(rng, n)})
+		bases += int64(n)
+	}
+	b.SetBytes(bases)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMapper(contigs, Defaults(), 1)
+	}
+}

@@ -1,0 +1,355 @@
+// Package simulate provides sequencing-read simulators standing in for
+// the tools the paper used: a PacBio HiFi long-read simulator
+// (substituting Sim-it) and an Illumina short-read simulator
+// (substituting ART). Both record the true reference coordinates of
+// every read, which the benchmark construction of §IV-B consumes.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// Strand is the orientation a read was sampled in.
+type Strand byte
+
+const (
+	// Forward reads match the reference orientation.
+	Forward Strand = '+'
+	// Reverse reads are reverse-complemented relative to the reference.
+	Reverse Strand = '-'
+)
+
+// Read is a simulated read along with its ground-truth origin.
+type Read struct {
+	Rec seq.Record
+	// Chrom is the index of the source chromosome record.
+	Chrom int
+	// Start and End delimit the error-free source span on the
+	// chromosome, half-open.
+	Start, End int
+	// Strand records the sampling orientation.
+	Strand Strand
+}
+
+// Records strips the ground truth, returning bare sequence records.
+func Records(reads []Read) []seq.Record {
+	out := make([]seq.Record, len(reads))
+	for i := range reads {
+		out[i] = reads[i].Rec
+	}
+	return out
+}
+
+// coordDesc encodes ground truth into a record description so reads
+// survive a FASTA/FASTQ round trip.
+func coordDesc(chrom, start, end int, strand Strand) string {
+	return fmt.Sprintf("chrom=%d start=%d end=%d strand=%c", chrom, start, end, strand)
+}
+
+// ParseCoords recovers ground-truth coordinates from a record
+// description written by this package.
+func ParseCoords(desc string) (chrom, start, end int, strand Strand, err error) {
+	strand = Forward
+	seen := 0
+	for _, field := range strings.Fields(desc) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "chrom":
+			chrom, err = strconv.Atoi(v)
+			seen++
+		case "start":
+			start, err = strconv.Atoi(v)
+			seen++
+		case "end":
+			end, err = strconv.Atoi(v)
+			seen++
+		case "strand":
+			if v == "-" {
+				strand = Reverse
+			}
+			seen++
+		}
+		if err != nil {
+			return 0, 0, 0, Forward, fmt.Errorf("simulate: bad coord field %q: %v", field, err)
+		}
+	}
+	if seen < 4 {
+		return 0, 0, 0, Forward, fmt.Errorf("simulate: description %q lacks coordinate fields", desc)
+	}
+	return chrom, start, end, strand, nil
+}
+
+// HiFiConfig configures the long-read simulator.
+type HiFiConfig struct {
+	// Coverage is the target sequencing depth (e.g. 10 for 10×).
+	Coverage float64
+	// MedianLen is the median read length in bases (paper: ~10 kbp
+	// simulated, ~19.6 kbp real).
+	MedianLen int
+	// LenSigma is the log-normal shape parameter controlling length
+	// spread; 0 means 0.32 (≈ the paper's ±3.4 kbp at 10.2 kbp mean).
+	LenSigma float64
+	// ErrorRate is the per-base error probability; 0 means 0.001
+	// (HiFi 99.9 % accuracy) and negative values mean error-free.
+	// Errors are 50 % substitutions, 25 % insertions, 25 % deletions.
+	ErrorRate float64
+	// Seed drives the generator.
+	Seed int64
+	// NamePrefix prefixes read IDs; "" means "hifi".
+	NamePrefix string
+}
+
+func (c HiFiConfig) withDefaults() HiFiConfig {
+	if c.MedianLen == 0 {
+		c.MedianLen = 10000
+	}
+	if c.LenSigma == 0 {
+		c.LenSigma = 0.32
+	}
+	if c.ErrorRate == 0 {
+		c.ErrorRate = 0.001
+	} else if c.ErrorRate < 0 {
+		c.ErrorRate = 0
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "hifi"
+	}
+	return c
+}
+
+// Validate checks config sanity.
+func (c HiFiConfig) Validate() error {
+	if c.Coverage <= 0 {
+		return fmt.Errorf("simulate: hifi coverage %v must be positive", c.Coverage)
+	}
+	if c.MedianLen < 0 || c.ErrorRate > 1 {
+		return fmt.Errorf("simulate: invalid hifi config %+v", c)
+	}
+	return nil
+}
+
+// HiFi samples long reads from the chromosome records until the target
+// coverage is met. Reads never span chromosome boundaries.
+func HiFi(chromosomes []seq.Record, c HiFiConfig) ([]Read, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	total := seq.TotalBases(chromosomes)
+	if total == 0 {
+		return nil, fmt.Errorf("simulate: empty reference")
+	}
+	targetBases := int64(c.Coverage * float64(total))
+	var reads []Read
+	var sampled int64
+	mu := math.Log(float64(c.MedianLen))
+	for sampled < targetBases {
+		chrom := pickChromosome(rng, chromosomes, total)
+		ref := chromosomes[chrom].Seq
+		length := int(math.Exp(rng.NormFloat64()*c.LenSigma + mu))
+		if length < 100 {
+			length = 100
+		}
+		if length > len(ref) {
+			length = len(ref)
+		}
+		start := sampleStart(rng, ref, length)
+		if start < 0 {
+			sampled += int64(length) // chromosome is mostly gaps; keep progress
+			continue
+		}
+		end := start + length
+		strand := Forward
+		if rng.Intn(2) == 1 {
+			strand = Reverse
+		}
+		payload := append([]byte(nil), ref[start:end]...)
+		if strand == Reverse {
+			seq.ReverseComplementInPlace(payload)
+		}
+		payload = applyErrors(rng, payload, c.ErrorRate)
+		id := fmt.Sprintf("%s_%d", c.NamePrefix, len(reads))
+		reads = append(reads, Read{
+			Rec: seq.Record{
+				ID:   id,
+				Desc: coordDesc(chrom, start, end, strand),
+				Seq:  payload,
+				Qual: hifiQualities(rng, len(payload)),
+			},
+			Chrom:  chrom,
+			Start:  start,
+			End:    end,
+			Strand: strand,
+		})
+		sampled += int64(length)
+	}
+	return reads, nil
+}
+
+// IlluminaConfig configures the short-read simulator.
+type IlluminaConfig struct {
+	// Coverage is the target depth (paper used enough for Minia
+	// assembly; 30× is a sensible default when 0).
+	Coverage float64
+	// ReadLen is the read length; 0 means 100 (paper: 100 bp).
+	ReadLen int
+	// ErrorRate is the substitution probability per base; <0 means 0,
+	// 0 means 0.002.
+	ErrorRate float64
+	// Seed drives the generator.
+	Seed int64
+	// NamePrefix prefixes read IDs; "" means "sr".
+	NamePrefix string
+}
+
+func (c IlluminaConfig) withDefaults() IlluminaConfig {
+	if c.Coverage == 0 {
+		c.Coverage = 30
+	}
+	if c.ReadLen == 0 {
+		c.ReadLen = 100
+	}
+	if c.ErrorRate == 0 {
+		c.ErrorRate = 0.002
+	} else if c.ErrorRate < 0 {
+		c.ErrorRate = 0
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "sr"
+	}
+	return c
+}
+
+// Illumina samples fixed-length short reads to the target coverage.
+// Errors are substitutions only, as in Illumina chemistry.
+func Illumina(chromosomes []seq.Record, c IlluminaConfig) ([]Read, error) {
+	c = c.withDefaults()
+	if c.Coverage <= 0 || c.ReadLen <= 0 {
+		return nil, fmt.Errorf("simulate: invalid illumina config %+v", c)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	total := seq.TotalBases(chromosomes)
+	if total == 0 {
+		return nil, fmt.Errorf("simulate: empty reference")
+	}
+	n := int(c.Coverage * float64(total) / float64(c.ReadLen))
+	reads := make([]Read, 0, n)
+	for i := 0; i < n; i++ {
+		chrom := pickChromosome(rng, chromosomes, total)
+		ref := chromosomes[chrom].Seq
+		length := c.ReadLen
+		if length > len(ref) {
+			length = len(ref)
+		}
+		start := sampleStart(rng, ref, length)
+		if start < 0 {
+			continue
+		}
+		end := start + length
+		strand := Forward
+		if rng.Intn(2) == 1 {
+			strand = Reverse
+		}
+		payload := append([]byte(nil), ref[start:end]...)
+		if strand == Reverse {
+			seq.ReverseComplementInPlace(payload)
+		}
+		for j := range payload {
+			if rng.Float64() < c.ErrorRate {
+				payload[j] = mutateBase(rng, payload[j])
+			}
+		}
+		reads = append(reads, Read{
+			Rec: seq.Record{
+				ID:   fmt.Sprintf("%s_%d", c.NamePrefix, i),
+				Desc: coordDesc(chrom, start, end, strand),
+				Seq:  payload,
+			},
+			Chrom:  chrom,
+			Start:  start,
+			End:    end,
+			Strand: strand,
+		})
+	}
+	return reads, nil
+}
+
+// hifiQualities draws plausible HiFi per-base qualities: high (Q30-40)
+// with mild variation, in Phred+33.
+func hifiQualities(rng *rand.Rand, n int) []byte {
+	q := make([]byte, n)
+	for i := range q {
+		q[i] = byte(33 + 30 + rng.Intn(11)) // Q30..Q40
+	}
+	return q
+}
+
+// sampleStart draws a start position whose span is mostly sequenceable
+// (≥90 % unambiguous bases), retrying a bounded number of times —
+// sequencers do not produce reads from assembly gaps. It returns -1
+// when no acceptable span is found.
+func sampleStart(rng *rand.Rand, ref []byte, length int) int {
+	for attempt := 0; attempt < 10; attempt++ {
+		start := rng.Intn(len(ref) - length + 1)
+		span := ref[start : start+length]
+		if seq.CountValid(span)*10 >= 9*len(span) {
+			return start
+		}
+	}
+	return -1
+}
+
+// pickChromosome samples a chromosome index weighted by length.
+func pickChromosome(rng *rand.Rand, chromosomes []seq.Record, total int64) int {
+	x := rng.Int63n(total)
+	for i := range chromosomes {
+		l := int64(len(chromosomes[i].Seq))
+		if x < l {
+			return i
+		}
+		x -= l
+	}
+	return len(chromosomes) - 1
+}
+
+// applyErrors introduces substitutions, insertions and deletions at
+// the given per-base rate (50/25/25 split).
+func applyErrors(rng *rand.Rand, s []byte, rate float64) []byte {
+	if rate <= 0 {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		if rng.Float64() >= rate {
+			out = append(out, b)
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0, 1: // substitution
+			out = append(out, mutateBase(rng, b))
+		case 2: // insertion (keep the base, add a random one)
+			out = append(out, b, seq.Code2Base[rng.Intn(4)])
+		case 3: // deletion (drop the base)
+		}
+	}
+	return out
+}
+
+func mutateBase(rng *rand.Rand, b byte) byte {
+	for {
+		nb := seq.Code2Base[rng.Intn(4)]
+		if nb != b {
+			return nb
+		}
+	}
+}

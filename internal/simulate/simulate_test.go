@@ -1,0 +1,295 @@
+package simulate
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/seq"
+)
+
+func testRef(t *testing.T, n int) []seq.Record {
+	t.Helper()
+	g, err := genome.Generate(genome.Config{Length: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records
+}
+
+func TestHiFiCoverageAndLengths(t *testing.T) {
+	ref := testRef(t, 500_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 8, MedianLen: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bases int64
+	for _, r := range reads {
+		bases += int64(len(r.Rec.Seq))
+		if len(r.Rec.Seq) < 90 {
+			t.Errorf("read %s too short: %d", r.Rec.ID, len(r.Rec.Seq))
+		}
+	}
+	cov := float64(bases) / 500_000
+	if cov < 8 || cov > 8.5 {
+		t.Errorf("coverage %v want ~8", cov)
+	}
+	// Median should be near the configured value.
+	lens := make([]int, len(reads))
+	for i, r := range reads {
+		lens[i] = r.End - r.Start
+	}
+	med := median(lens)
+	if math.Abs(float64(med)-5000) > 1000 {
+		t.Errorf("median length %d want ~5000", med)
+	}
+}
+
+func TestHiFiErrorFreeMatchesReference(t *testing.T) {
+	ref := testRef(t, 100_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 2, MedianLen: 2000, ErrorRate: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		want := ref[r.Chrom].Seq[r.Start:r.End]
+		got := r.Rec.Seq
+		if r.Strand == Reverse {
+			got = seq.ReverseComplement(got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %s does not match its source span", r.Rec.ID)
+		}
+	}
+}
+
+func TestHiFiErrorRateApprox(t *testing.T) {
+	ref := testRef(t, 200_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 5, MedianLen: 5000, ErrorRate: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count reads whose sequence differs from the source span; with a
+	// 2% per-base error on multi-kb reads essentially all must differ.
+	diff := 0
+	for _, r := range reads {
+		want := ref[r.Chrom].Seq[r.Start:r.End]
+		got := r.Rec.Seq
+		if r.Strand == Reverse {
+			got = seq.ReverseComplement(got)
+		}
+		if !bytes.Equal(got, want) {
+			diff++
+		}
+	}
+	if diff < len(reads)*9/10 {
+		t.Errorf("only %d/%d reads carry errors at 2%%", diff, len(reads))
+	}
+}
+
+func TestHiFiBothStrandsAppear(t *testing.T) {
+	ref := testRef(t, 100_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 5, MedianLen: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, rev := 0, 0
+	for _, r := range reads {
+		if r.Strand == Forward {
+			fwd++
+		} else {
+			rev++
+		}
+	}
+	if fwd == 0 || rev == 0 {
+		t.Errorf("strand skew: fwd=%d rev=%d", fwd, rev)
+	}
+}
+
+func TestHiFiValidation(t *testing.T) {
+	ref := testRef(t, 10_000)
+	if _, err := HiFi(ref, HiFiConfig{Coverage: 0}); err == nil {
+		t.Error("zero coverage should fail")
+	}
+	if _, err := HiFi(nil, HiFiConfig{Coverage: 1}); err == nil {
+		t.Error("empty reference should fail")
+	}
+	if _, err := HiFi([]seq.Record{{ID: "e"}}, HiFiConfig{Coverage: 1}); err == nil {
+		t.Error("zero-length reference should fail")
+	}
+}
+
+func TestIllumina(t *testing.T) {
+	ref := testRef(t, 100_000)
+	reads, err := Illumina(ref, IlluminaConfig{Coverage: 10, ReadLen: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 10*100_000/100 {
+		t.Errorf("got %d reads", len(reads))
+	}
+	for _, r := range reads[:50] {
+		if len(r.Rec.Seq) != 100 {
+			t.Errorf("read length %d", len(r.Rec.Seq))
+		}
+		if r.End-r.Start != 100 {
+			t.Errorf("span %d", r.End-r.Start)
+		}
+	}
+}
+
+func TestIlluminaErrorFree(t *testing.T) {
+	ref := testRef(t, 50_000)
+	reads, err := Illumina(ref, IlluminaConfig{Coverage: 3, ErrorRate: -1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		want := ref[r.Chrom].Seq[r.Start:r.End]
+		got := r.Rec.Seq
+		if r.Strand == Reverse {
+			got = seq.ReverseComplement(got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("error-free read %s differs from source", r.Rec.ID)
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	ref := testRef(t, 50_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 1, MedianLen: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		chrom, start, end, strand, err := ParseCoords(r.Rec.Desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chrom != r.Chrom || start != r.Start || end != r.End || strand != r.Strand {
+			t.Fatalf("coords %d,%d,%d,%c != %d,%d,%d,%c",
+				chrom, start, end, strand, r.Chrom, r.Start, r.End, r.Strand)
+		}
+	}
+	if _, _, _, _, err := ParseCoords("no coords here"); err == nil {
+		t.Error("descriptor without coords should fail")
+	}
+	if _, _, _, _, err := ParseCoords("chrom=x start=1 end=2 strand=+"); err == nil {
+		t.Error("malformed chrom should fail")
+	}
+}
+
+func TestRecordsStripsTruth(t *testing.T) {
+	ref := testRef(t, 20_000)
+	reads, _ := HiFi(ref, HiFiConfig{Coverage: 1, MedianLen: 1000, Seed: 8})
+	recs := Records(reads)
+	if len(recs) != len(reads) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range recs {
+		if recs[i].ID != reads[i].Rec.ID {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadsNeverCrossChromosomes(t *testing.T) {
+	g, err := genome.Generate(genome.Config{Length: 100_000, Chromosomes: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := HiFi(g.Records, HiFiConfig{Coverage: 3, MedianLen: 5000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if r.End > len(g.Records[r.Chrom].Seq) {
+			t.Fatalf("read %s overruns chromosome %d", r.Rec.ID, r.Chrom)
+		}
+	}
+}
+
+func TestReadsAvoidAssemblyGaps(t *testing.T) {
+	g, err := genome.Generate(genome.Config{
+		Length: 200_000, GapFraction: 0.15, GapUnit: 2000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := HiFi(g.Records, HiFiConfig{Coverage: 3, MedianLen: 3000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads sampled from gapped genome")
+	}
+	for _, r := range reads {
+		span := g.Records[r.Chrom].Seq[r.Start:r.End]
+		if seq.CountValid(span)*10 < 9*len(span) {
+			t.Fatalf("read %s drawn from a gap-heavy span", r.Rec.ID)
+		}
+	}
+	short, err := Illumina(g.Records, IlluminaConfig{Coverage: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range short {
+		span := g.Records[r.Chrom].Seq[r.Start:r.End]
+		if seq.CountValid(span)*10 < 9*len(span) {
+			t.Fatalf("short read %s drawn from a gap-heavy span", r.Rec.ID)
+		}
+	}
+}
+
+func TestHiFiQualities(t *testing.T) {
+	ref := testRef(t, 30_000)
+	reads, err := HiFi(ref, HiFiConfig{Coverage: 1, MedianLen: 2000, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if len(r.Rec.Qual) != len(r.Rec.Seq) {
+			t.Fatalf("read %s: qual length %d != seq length %d", r.Rec.ID, len(r.Rec.Qual), len(r.Rec.Seq))
+		}
+		for _, q := range r.Rec.Qual {
+			phred := int(q) - 33
+			if phred < 30 || phred > 40 {
+				t.Fatalf("read %s: phred %d out of [30,40]", r.Rec.ID, phred)
+			}
+		}
+	}
+}
+
+// FuzzParseCoords asserts the coordinate parser never panics and that
+// accepted values round-trip through coordDesc.
+func FuzzParseCoords(f *testing.F) {
+	f.Add("chrom=1 start=100 end=200 strand=+")
+	f.Add("chrom=0 start=0 end=0 strand=-")
+	f.Add("garbage")
+	f.Add("chrom= start= end= strand=")
+	f.Fuzz(func(t *testing.T, desc string) {
+		chrom, start, end, strand, err := ParseCoords(desc)
+		if err != nil {
+			return
+		}
+		again, s2, e2, st2, err := ParseCoords(coordDesc(chrom, start, end, strand))
+		if err != nil || again != chrom || s2 != start || e2 != end || st2 != strand {
+			t.Fatalf("round trip failed for %q", desc)
+		}
+	})
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]int(nil), xs...)
+	for i := 1; i < len(cp); i++ { // insertion sort, test-scale inputs
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}

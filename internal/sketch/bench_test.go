@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kmer"
+)
+
+func benchSketcher(b *testing.B) *Sketcher {
+	b.Helper()
+	sk, err := NewSketcher(Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+func BenchmarkHashFamily(b *testing.B) {
+	hf := NewHashFamily(30, 1)
+	x := kmer.Word(0x1234_5678_9abc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 30; t++ {
+			_ = hf.Hash(t, x)
+		}
+	}
+}
+
+func BenchmarkSubjectSketch(b *testing.B) {
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(2))
+	s := randDNA(rng, 100_000) // a long contig
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.SubjectSketch(s)
+	}
+}
+
+func BenchmarkQuerySketch(b *testing.B) {
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(3))
+	seg := randDNA(rng, 1000) // one end segment
+	b.SetBytes(int64(len(seg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.QuerySketch(seg)
+	}
+}
+
+func benchPayloads(b *testing.B, ranks, subjectsPerRank int) (int, [][]byte) {
+	b.Helper()
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(4))
+	var payloads [][]byte
+	subj := int32(0)
+	for r := 0; r < ranks; r++ {
+		tb := NewTable(sk.Params().T)
+		for s := 0; s < subjectsPerRank; s++ {
+			words, anchors := sk.SubjectSketchPositional(randDNA(rng, 3000))
+			tb.InsertPositional(subj, words, anchors)
+			subj++
+		}
+		var buf bytes.Buffer
+		if err := tb.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		payloads = append(payloads, buf.Bytes())
+	}
+	return sk.Params().T, payloads
+}
+
+func BenchmarkFreezePayloads(b *testing.B) {
+	t, payloads := benchPayloads(b, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FreezePayloads(t, payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeMergeHashTable(b *testing.B) {
+	// The hash-map alternative to FreezePayloads, for comparison.
+	t, payloads := benchPayloads(b, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewTable(t)
+		for _, p := range payloads {
+			if err := tb.DecodeInto(bytes.NewReader(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFrozenLookup(b *testing.B) {
+	t, payloads := benchPayloads(b, 4, 16)
+	ft, err := FreezePayloads(t, payloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	words := make([]kmer.Word, 1024)
+	for i := range words {
+		words[i] = kmer.Word(rng.Uint64() & (1<<32 - 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Lookup(i%t, words[i%len(words)])
+	}
+}

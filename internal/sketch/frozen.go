@@ -1,0 +1,221 @@
+package sketch
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kmer"
+)
+
+// FrozenTable is the read-only form of the sketch table used after the
+// gather step: per trial, a sorted unique word array with a flat
+// posting array indexed by prefix offsets. It matches the paper's
+// picture of S_global as "T lists" more closely than a hash map, and
+// it can be built from the allgathered payloads by a k-way merge in
+// O(entries · log p) without any hashing — which is what keeps the S3
+// merge cost from dominating the distributed runtime.
+type FrozenTable struct {
+	trials  []frozenBin
+	entries int
+}
+
+type frozenBin struct {
+	words    []kmer.Word
+	offsets  []int32 // len(words)+1; postings[offsets[i]:offsets[i+1]]
+	postings []Posting
+}
+
+// T returns the number of trial bins.
+func (ft *FrozenTable) T() int { return len(ft.trials) }
+
+// Entries returns the total posting count.
+func (ft *FrozenTable) Entries() int { return ft.entries }
+
+// Words returns the number of distinct words in trial t.
+func (ft *FrozenTable) Words(t int) int { return len(ft.trials[t].words) }
+
+// Lookup returns the posting list for word w in trial t (nil when
+// absent). The returned slice must not be modified.
+func (ft *FrozenTable) Lookup(t int, w kmer.Word) []Posting {
+	bin := &ft.trials[t]
+	words := bin.words
+	lo, hi := 0, len(words)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if words[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(words) || words[lo] != w {
+		return nil
+	}
+	return bin.postings[bin.offsets[lo]:bin.offsets[lo+1]]
+}
+
+// payloadCursor walks one encoded payload (as written by
+// Table.Encode) via direct slice access: within each trial its words
+// arrive sorted.
+type payloadCursor struct {
+	buf       []byte
+	off       int
+	remaining int       // words left in the current trial
+	word      kmer.Word // current word (valid after a true nextWord)
+	listLen   int       // postings pending for the current word
+}
+
+func (c *payloadCursor) u32() (uint32, error) {
+	if c.off+4 > len(c.buf) {
+		return 0, fmt.Errorf("sketch: truncated payload at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *payloadCursor) u64() (uint64, error) {
+	if c.off+8 > len(c.buf) {
+		return 0, fmt.Errorf("sketch: truncated payload at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *payloadCursor) nextWord() (bool, error) {
+	if c.remaining == 0 {
+		return false, nil
+	}
+	w, err := c.u64()
+	if err != nil {
+		return false, err
+	}
+	ln, err := c.u32()
+	if err != nil {
+		return false, err
+	}
+	c.word = kmer.Word(w)
+	c.listLen = int(ln)
+	c.remaining--
+	return true, nil
+}
+
+// cursorHeap orders cursors by current word (ties by index for
+// determinism).
+type cursorHeap struct {
+	cs  []*payloadCursor
+	idx []int
+}
+
+func (h *cursorHeap) Len() int { return len(h.cs) }
+func (h *cursorHeap) Less(i, j int) bool {
+	if h.cs[i].word != h.cs[j].word {
+		return h.cs[i].word < h.cs[j].word
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h *cursorHeap) Swap(i, j int) {
+	h.cs[i], h.cs[j] = h.cs[j], h.cs[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *cursorHeap) Push(x any) { panic("cursorHeap: push unused") }
+func (h *cursorHeap) Pop() any {
+	n := len(h.cs) - 1
+	c := h.cs[n]
+	h.cs = h.cs[:n]
+	h.idx = h.idx[:n]
+	return c
+}
+
+// FreezePayloads k-way merges encoded table payloads (one per rank,
+// each produced by Table.Encode) into a FrozenTable. Every payload
+// must carry the same trial count t.
+func FreezePayloads(t int, payloads [][]byte) (*FrozenTable, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("sketch: freeze with t=%d", t)
+	}
+	cursors := make([]*payloadCursor, len(payloads))
+	for i, p := range payloads {
+		c := &payloadCursor{buf: p}
+		pt, err := c.u32()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: payload %d: %w", i, err)
+		}
+		if int(pt) != t {
+			return nil, fmt.Errorf("sketch: payload %d has %d trials, want %d", i, pt, t)
+		}
+		cursors[i] = c
+	}
+	ft := &FrozenTable{trials: make([]frozenBin, t)}
+	for ti := 0; ti < t; ti++ {
+		// Load this trial's word counts and first words.
+		h := &cursorHeap{}
+		for i, c := range cursors {
+			nw, err := c.u32()
+			if err != nil {
+				return nil, fmt.Errorf("sketch: payload %d trial %d: %w", i, ti, err)
+			}
+			c.remaining = int(nw)
+			ok, err := c.nextWord()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				h.cs = append(h.cs, c)
+				h.idx = append(h.idx, i)
+			}
+		}
+		heap.Init(h)
+		bin := &ft.trials[ti]
+		bin.offsets = append(bin.offsets, 0)
+		for h.Len() > 0 {
+			c := h.cs[0]
+			w := c.word
+			if n := len(bin.words); n == 0 || bin.words[n-1] != w {
+				if len(bin.words) > 0 {
+					bin.offsets = append(bin.offsets, int32(len(bin.postings)))
+				}
+				bin.words = append(bin.words, w)
+			}
+			if c.off+8*c.listLen > len(c.buf) {
+				return nil, fmt.Errorf("sketch: truncated posting list at offset %d", c.off)
+			}
+			for j := 0; j < c.listLen; j++ {
+				s := binary.LittleEndian.Uint32(c.buf[c.off:])
+				a := binary.LittleEndian.Uint32(c.buf[c.off+4:])
+				c.off += 8
+				bin.postings = append(bin.postings, Posting{Subject: int32(s), Anchor: int32(a)})
+			}
+			ok, err := c.nextWord()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				heap.Fix(h, 0)
+			} else {
+				heap.Pop(h)
+			}
+		}
+		bin.offsets = append(bin.offsets, int32(len(bin.postings)))
+		ft.entries += len(bin.postings)
+	}
+	return ft, nil
+}
+
+// Freeze converts a mutable Table into its frozen form (primarily for
+// tests and single-process callers that want the compact layout).
+func (tb *Table) Freeze() *FrozenTable {
+	var buf bytes.Buffer
+	if err := tb.Encode(&buf); err != nil {
+		// bytes.Buffer writes cannot fail.
+		panic(err)
+	}
+	ft, err := FreezePayloads(tb.T(), [][]byte{buf.Bytes()})
+	if err != nil {
+		panic(err)
+	}
+	return ft
+}

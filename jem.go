@@ -1,0 +1,278 @@
+// Package jem is the public API of this repository: a Go
+// implementation of JEM-mapper, the parallel sketch-based algorithm
+// for mapping long reads to contigs from Rahman, Bhowmik and
+// Kalyanaraman (IPDPSW 2023).
+//
+// The mapper answers the L2C problem: given a set of long reads
+// (queries) and a set of contigs (subjects), report for each end
+// segment of each read the best-matching contig, using a
+// minimizer-based Jaccard estimator (JEM) sketch instead of
+// alignment. Typical use:
+//
+//	contigs, _ := jem.ReadSequences("contigs.fasta")
+//	reads, _ := jem.ReadSequences("reads.fastq")
+//	mapper, _ := jem.NewMapper(contigs, jem.DefaultOptions())
+//	mappings := mapper.MapReads(reads)
+//
+// Sub-APIs expose the rest of the reproduced system: dataset
+// synthesis (Synthesize), the distributed-memory simulation
+// (MapDistributed), baselines (NewMashmapMapper, NewMinHashMapper),
+// benchmark evaluation (BuildBenchmark, Evaluate) and scaffolding
+// (BuildScaffolds).
+package jem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/minimizer"
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+// Record is a named DNA sequence (FASTA/FASTQ record).
+type Record = seq.Record
+
+// ReadSequences loads all records from a FASTA or FASTQ file.
+func ReadSequences(path string) ([]Record, error) { return seq.ReadFile(path) }
+
+// WriteFASTA writes records to a FASTA file (80-column lines).
+func WriteFASTA(path string, records []Record) error { return seq.WriteFASTAFile(path, records) }
+
+// WriteFASTQ writes records to a FASTQ file.
+func WriteFASTQ(path string, records []Record) error { return seq.WriteFASTQFile(path, records) }
+
+// Options configures a Mapper. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// K is the k-mer size (paper default 16).
+	K int
+	// W is the minimizer window size in k-mers (paper default 100).
+	W int
+	// Trials is the number of random sketch trials T (paper default 30).
+	Trials int
+	// SegmentLen is the end-segment and interval length ℓ in bases
+	// (paper default 1000).
+	SegmentLen int
+	// Seed drives the random hash family; mapper and queries must use
+	// the same seed (they do — queries are sketched by the mapper).
+	Seed int64
+	// Workers bounds goroutine parallelism; ≤0 means GOMAXPROCS.
+	Workers int
+	// HashOrdering switches the minimizer ordering from the paper's
+	// lexicographic choice to a minimap2-style hash ordering (an
+	// ablation knob; see DESIGN.md §5).
+	HashOrdering bool
+}
+
+// DefaultOptions returns the paper's software configuration:
+// k=16, w=100, T=30, ℓ=1000.
+func DefaultOptions() Options {
+	return Options{K: 16, W: 100, Trials: 30, SegmentLen: 1000, Seed: 1}
+}
+
+func (o Options) params() sketch.Params {
+	p := sketch.Params{K: o.K, W: o.W, T: o.Trials, L: o.SegmentLen, Seed: o.Seed}
+	if o.HashOrdering {
+		p.Order = minimizer.OrderHash
+	}
+	return p
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error { return o.params().Validate() }
+
+// SegmentEnd says which end of a read a mapping concerns.
+type SegmentEnd string
+
+const (
+	// PrefixEnd is the first SegmentLen bases of a read.
+	PrefixEnd SegmentEnd = "prefix"
+	// SuffixEnd is the last SegmentLen bases of a read.
+	SuffixEnd SegmentEnd = "suffix"
+)
+
+// Mapping is one end-segment → contig result.
+type Mapping struct {
+	ReadIndex int        // index into the reads slice passed to MapReads
+	ReadID    string     // read record ID
+	End       SegmentEnd // which end segment
+	Mapped    bool       // false when no contig was hit
+	Contig    int        // contig index (valid when Mapped)
+	ContigID  string     // contig record ID (valid when Mapped)
+	// SharedTrials is the number of sketch trials in which the query
+	// collided with the reported contig (the best-hit frequency).
+	SharedTrials int
+}
+
+// Mapper maps long-read end segments to an indexed contig set.
+type Mapper struct {
+	opts    Options
+	core    *core.Mapper
+	contigs []Record
+}
+
+// NewMapper indexes contigs with the JEM sketch. The contig slice is
+// retained for ID lookup; sequences themselves are not kept beyond
+// sketching (they alias the caller's records).
+func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
+	cm, err := core.NewMapper(opts.params())
+	if err != nil {
+		return nil, err
+	}
+	cm.AddSubjectsParallel(contigs, opts.Workers)
+	return &Mapper{opts: opts, core: cm, contigs: contigs}, nil
+}
+
+// Options returns the mapper's configuration.
+func (m *Mapper) Options() Options { return m.opts }
+
+// NumContigs returns the number of indexed contigs.
+func (m *Mapper) NumContigs() int { return m.core.NumSubjects() }
+
+// MapReads maps both end segments of every read, in parallel, and
+// returns mappings in deterministic (read, end) order. Every segment
+// produces a Mapping; unmapped segments have Mapped=false.
+func (m *Mapper) MapReads(reads []Record) []Mapping {
+	results := m.core.MapReads(reads, m.opts.SegmentLen, m.opts.Workers)
+	return m.convert(results, reads)
+}
+
+func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
+	out := make([]Mapping, len(results))
+	for i, r := range results {
+		mp := Mapping{
+			ReadIndex: int(r.ReadIndex),
+			ReadID:    reads[r.ReadIndex].ID,
+			End:       PrefixEnd,
+		}
+		if r.Kind == core.Suffix {
+			mp.End = SuffixEnd
+		}
+		if r.Mapped() {
+			mp.Mapped = true
+			mp.Contig = int(r.Subject)
+			mp.ContigID = m.core.Subject(r.Subject).Name
+			mp.SharedTrials = int(r.Count)
+		}
+		out[i] = mp
+	}
+	return out
+}
+
+// SaveIndex serializes the mapper's sketch index (parameters, subject
+// metadata, sketch table) so it can be reloaded with LoadMapper
+// instead of re-sketching the contigs.
+func (m *Mapper) SaveIndex(w io.Writer) error { return m.core.WriteIndex(w) }
+
+// LoadMapper reconstructs a mapper from an index written by SaveIndex.
+// The loaded mapper maps identically to the original; contig sequences
+// are not stored in the index, so sequence-dependent extras
+// (PercentIdentity against retained contigs) need the contig records
+// passed here (nil is allowed and disables only those extras).
+func LoadMapper(r io.Reader, contigs []Record) (*Mapper, error) {
+	cm, err := core.ReadIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	p := cm.Sketcher().Params()
+	opts := Options{
+		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,
+		HashOrdering: p.Order == minimizer.OrderHash,
+	}
+	return &Mapper{opts: opts, core: cm, contigs: contigs}, nil
+}
+
+// MapSegment maps a single arbitrary segment (at most SegmentLen bases
+// of it are meaningful — longer inputs dilute the sketch) and returns
+// the best contig index and shared-trial count. ok=false when nothing
+// was hit.
+func (m *Mapper) MapSegment(segment []byte) (contig, sharedTrials int, ok bool) {
+	sess := m.core.NewSession()
+	hit, ok := sess.MapSegment(segment)
+	if !ok {
+		return -1, 0, false
+	}
+	return int(hit.Subject), int(hit.Count), true
+}
+
+// TiledMapping is one interior-tile hit of MapReadTiled.
+type TiledMapping struct {
+	// Offset and Length locate the tile on the read.
+	Offset, Length int
+	Contig         int
+	ContigID       string
+	SharedTrials   int
+}
+
+// MapReadTiled maps consecutive SegmentLen-length tiles across the
+// whole read (stride ≤ 0 means non-overlapping tiles) — the extension
+// the paper flags for detecting contigs contained in a read's
+// interior, which end-segment mapping cannot see. Unmapped tiles are
+// omitted.
+func (m *Mapper) MapReadTiled(read []byte, stride int) []TiledMapping {
+	sess := m.core.NewSession()
+	tiles := sess.MapReadTiled(read, m.opts.SegmentLen, stride)
+	out := make([]TiledMapping, len(tiles))
+	for i, th := range tiles {
+		out[i] = TiledMapping{
+			Offset:       int(th.Offset),
+			Length:       int(th.Length),
+			Contig:       int(th.Subject),
+			ContigID:     m.core.Subject(th.Subject).Name,
+			SharedTrials: int(th.Count),
+		}
+	}
+	return out
+}
+
+// ContainedContigs returns the distinct contigs hit by the read's
+// interior tiles (excluding the two end tiles) — candidates for
+// contigs wholly contained in the read.
+func (m *Mapper) ContainedContigs(read []byte) []int {
+	sess := m.core.NewSession()
+	ids := sess.ContainedSubjects(read, m.opts.SegmentLen)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// TopHits returns up to k candidate contigs for a segment ordered by
+// descending shared-trial count — the paper's proposed top-x
+// extension.
+func (m *Mapper) TopHits(segment []byte, k int) []Mapping {
+	sess := m.core.NewSession()
+	hits := sess.MapSegmentTopK(segment, k)
+	out := make([]Mapping, len(hits))
+	for i, h := range hits {
+		out[i] = Mapping{
+			Mapped:       true,
+			Contig:       int(h.Subject),
+			ContigID:     m.core.Subject(h.Subject).Name,
+			SharedTrials: int(h.Count),
+		}
+	}
+	return out
+}
+
+// WriteTSV writes mappings as a tab-separated table with a header:
+// read_id, end, contig_id, shared_trials ("*" marks unmapped rows).
+func WriteTSV(w io.Writer, mappings []Mapping) error {
+	if _, err := fmt.Fprintln(w, "read_id\tend\tcontig_id\tshared_trials"); err != nil {
+		return err
+	}
+	for _, m := range mappings {
+		contig, trials := "*", "0"
+		if m.Mapped {
+			contig = m.ContigID
+			trials = fmt.Sprintf("%d", m.SharedTrials)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.ReadID, m.End, contig, trials); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package jem_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// buildSmallDataset synthesizes a compact dataset shared by the
+// integration tests. Kept small enough for -short runs.
+func buildSmallDataset(t testing.TB) *jem.Dataset {
+	t.Helper()
+	ds, err := jem.Synthesize(jem.SynthesisConfig{
+		Name:           "itest",
+		GenomeLength:   300_000,
+		RepeatFraction: 0.05,
+		HiFiCoverage:   4,
+		HiFiMedianLen:  8000,
+		ShortCoverage:  25,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return ds
+}
+
+func TestEndToEndQuality(t *testing.T) {
+	ds := buildSmallDataset(t)
+	if len(ds.Contigs) < 3 {
+		t.Fatalf("assembly produced only %d contigs", len(ds.Contigs))
+	}
+	opts := jem.DefaultOptions()
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatalf("NewMapper: %v", err)
+	}
+	mappings := mapper.MapReads(ds.Reads)
+	if len(mappings) == 0 {
+		t.Fatal("no mappings produced")
+	}
+	bench, err := jem.BuildBenchmark(ds, opts)
+	if err != nil {
+		t.Fatalf("BuildBenchmark: %v", err)
+	}
+	if bench.TruePairs() == 0 {
+		t.Fatal("benchmark has no true pairs")
+	}
+	q := bench.Evaluate(mappings)
+	t.Logf("contigs=%d reads=%d mappings=%d truepairs=%d TP=%d FP=%d FN=%d TN=%d precision=%.4f recall=%.4f",
+		len(ds.Contigs), len(ds.Reads), len(mappings), bench.TruePairs(),
+		q.TP, q.FP, q.FN, q.TN, q.Precision, q.Recall)
+	if q.Precision < 0.90 {
+		t.Errorf("precision %.4f below 0.90", q.Precision)
+	}
+	if q.Recall < 0.85 {
+		t.Errorf("recall %.4f below 0.85", q.Recall)
+	}
+}

@@ -1,0 +1,117 @@
+package jem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// PositionalMapping extends Mapping with approximate coordinates: the
+// segment's span on the read, the estimated target window on the
+// contig (from the positional sketch table), and an estimated relative
+// strand. These estimates are an extension over the paper, whose
+// output is best-hit contig ids only.
+type PositionalMapping struct {
+	Mapping
+	// QueryStart/QueryEnd is the segment's span on the read.
+	QueryStart, QueryEnd int
+	// TargetStart/TargetEnd is the estimated mapped window on the
+	// contig (TargetStart == -1 when no estimate exists).
+	TargetStart, TargetEnd int
+	// Strand is '+' when the segment matches the contig forward, '-'
+	// for reverse complement, and '?' when it cannot be estimated.
+	Strand byte
+}
+
+// MapReadsPositional maps both end segments of every read and
+// augments each mapping with positional and strand estimates.
+func (m *Mapper) MapReadsPositional(reads []Record) []PositionalMapping {
+	out := make([][]PositionalMapping, len(reads))
+	parallel.ForEachWorker(len(reads), m.opts.Workers,
+		func() *core.Session { return m.core.NewSession() },
+		func(sess *core.Session, i int) {
+			out[i] = m.mapOnePositional(sess, i, reads[i])
+		})
+	flat := make([]PositionalMapping, 0, 2*len(reads))
+	for _, ms := range out {
+		flat = append(flat, ms...)
+	}
+	return flat
+}
+
+func (m *Mapper) mapOnePositional(sess *core.Session, readIndex int, read Record) []PositionalMapping {
+	segs, kinds := core.EndSegments(read.Seq, m.opts.SegmentLen)
+	results := make([]PositionalMapping, len(segs))
+	offset := 0
+	for i, seg := range segs {
+		if kinds[i] == core.Suffix {
+			offset = len(read.Seq) - len(seg)
+		}
+		pm := PositionalMapping{
+			Mapping: Mapping{
+				ReadIndex: readIndex,
+				ReadID:    read.ID,
+				End:       PrefixEnd,
+			},
+			QueryStart:  offset,
+			QueryEnd:    offset + len(seg),
+			TargetStart: -1,
+			Strand:      '?',
+		}
+		if kinds[i] == core.Suffix {
+			pm.End = SuffixEnd
+		}
+		if hit, ok := sess.MapSegmentPositional(seg); ok {
+			pm.Mapped = true
+			pm.Contig = int(hit.Subject)
+			pm.ContigID = m.core.Subject(hit.Subject).Name
+			pm.SharedTrials = int(hit.Count)
+			if hit.TargetStart >= 0 {
+				pm.TargetStart = int(hit.TargetStart)
+				pm.TargetEnd = int(hit.TargetEnd)
+				if hit.Reverse {
+					pm.Strand = '-'
+				} else {
+					pm.Strand = '+'
+				}
+			}
+		}
+		results[i] = pm
+	}
+	return results
+}
+
+// WritePAF writes positional mappings in PAF (pairwise alignment
+// format), the interchange format of minimap2/Mashmap. Columns 10-11
+// (matching bases, block length) are approximated by the shared-trial
+// count scaled to the segment length and the segment length
+// respectively; a `jm:i:` tag carries the raw shared-trial count.
+// Unmapped segments are skipped (PAF has no unmapped rows).
+func (m *Mapper) WritePAF(w io.Writer, mappings []PositionalMapping, reads []Record) error {
+	for _, pm := range mappings {
+		if !pm.Mapped || pm.TargetStart < 0 {
+			continue
+		}
+		strand := pm.Strand
+		if strand == '?' {
+			strand = '+'
+		}
+		readLen := len(reads[pm.ReadIndex].Seq)
+		tlen := int(m.core.Subject(int32(pm.Contig)).Length)
+		segLen := pm.QueryEnd - pm.QueryStart
+		matches := segLen * pm.SharedTrials / m.opts.Trials
+		mapq := 60 * pm.SharedTrials / m.opts.Trials
+		if mapq > 60 {
+			mapq = 60
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tjm:i:%d\n",
+			pm.ReadID, readLen, pm.QueryStart, pm.QueryEnd, strand,
+			pm.ContigID, tlen, pm.TargetStart, pm.TargetEnd,
+			matches, segLen, mapq, pm.SharedTrials); err != nil {
+			return err
+		}
+	}
+	return nil
+}

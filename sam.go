@@ -1,0 +1,73 @@
+package jem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// WriteSAM writes verified mappings as a SAM file: an @HD/@SQ header
+// over the contig set, then one alignment record per mapped end
+// segment. Record conventions:
+//
+//   - QNAME is "<read id>/prefix" or "<read id>/suffix".
+//   - SEQ is the segment (reverse-complemented for flag-0x10 records,
+//     per the SAM spec), so the CIGAR from verification applies as-is.
+//   - POS is the 1-based alignment start on the contig; MAPQ scales
+//     the shared-trial count to [0,60].
+//   - Optional tags: jm:i (shared trials), pi:f (percent identity).
+//
+// Unmapped segments are emitted with flag 0x4 and '*' placeholders, so
+// the output accounts for every segment.
+func (m *Mapper) WriteSAM(w io.Writer, mappings []VerifiedMapping, reads []Record) error {
+	if _, err := fmt.Fprintf(w, "@HD\tVN:1.6\tSO:unknown\n"); err != nil {
+		return err
+	}
+	for i := 0; i < m.NumContigs(); i++ {
+		meta := m.core.Subject(int32(i))
+		if _, err := fmt.Fprintf(w, "@SQ\tSN:%s\tLN:%d\n", meta.Name, meta.Length); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "@PG\tID:jem-mapper\tPN:jem-mapper\n"); err != nil {
+		return err
+	}
+	for _, vm := range mappings {
+		qname := fmt.Sprintf("%s/%s", vm.ReadID, vm.End)
+		if !vm.Mapped {
+			if _, err := fmt.Fprintf(w, "%s\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*\n", qname); err != nil {
+				return err
+			}
+			continue
+		}
+		read := reads[vm.ReadIndex].Seq
+		segs, kinds := core.EndSegments(read, m.opts.SegmentLen)
+		var segment []byte
+		for i, kind := range kinds {
+			if (kind == core.Prefix) == (vm.End == PrefixEnd) {
+				segment = segs[i]
+			}
+		}
+		flag := 0
+		if vm.Reverse {
+			flag |= 0x10
+			segment = seq.ReverseComplement(segment)
+		}
+		mapq := 60 * vm.SharedTrials / m.opts.Trials
+		if mapq > 60 {
+			mapq = 60
+		}
+		cigar := vm.CIGAR
+		if cigar == "" {
+			cigar = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%s\t*\t0\t0\t%s\t*\tjm:i:%d\tpi:f:%.2f\n",
+			qname, flag, vm.ContigID, vm.TargetStart+1, mapq, cigar,
+			segment, vm.SharedTrials, vm.Identity); err != nil {
+			return err
+		}
+	}
+	return nil
+}

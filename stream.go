@@ -1,0 +1,103 @@
+package jem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// StreamStats summarizes a MapStream run.
+type StreamStats struct {
+	Reads    int
+	Segments int
+	Mapped   int
+}
+
+// MapStream maps long reads from a FASTA/FASTQ stream without loading
+// the whole file: reads are pulled in batches, mapped in parallel, and
+// written as TSV in input order. It is the memory-bounded counterpart
+// of MapReads for production-sized read sets (the contig index still
+// lives in memory, as in the paper).
+func (m *Mapper) MapStream(r io.Reader, w io.Writer) (StreamStats, error) {
+	const batchSize = 256
+	var stats StreamStats
+	if _, err := fmt.Fprintln(w, "read_id\tend\tcontig_id\tshared_trials"); err != nil {
+		return stats, err
+	}
+	sr := seq.NewReader(r)
+	var batch []Record
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		mappings := m.mapBatch(batch)
+		for _, mp := range mappings {
+			stats.Segments++
+			if mp.Mapped {
+				stats.Mapped++
+			}
+			contig, trials := "*", "0"
+			if mp.Mapped {
+				contig = mp.ContigID
+				trials = fmt.Sprintf("%d", mp.SharedTrials)
+			}
+			if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", mp.ReadID, mp.End, contig, trials); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		rec, err := sr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+		stats.Reads++
+		batch = append(batch, rec)
+		if len(batch) >= batchSize {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, flush()
+}
+
+// mapBatch maps one batch of reads with per-worker sessions (sessions
+// are cheap relative to a 256-read batch, so per-batch construction is
+// fine).
+func (m *Mapper) mapBatch(batch []Record) []Mapping {
+	out := make([][]Mapping, len(batch))
+	parallel.ForEachWorker(len(batch), m.opts.Workers,
+		func() *core.Session { return m.core.NewSession() },
+		func(sess *core.Session, i int) {
+			segs, kinds := core.EndSegments(batch[i].Seq, m.opts.SegmentLen)
+			ms := make([]Mapping, len(segs))
+			for si, seg := range segs {
+				mp := Mapping{ReadIndex: i, ReadID: batch[i].ID, End: PrefixEnd}
+				if kinds[si] == core.Suffix {
+					mp.End = SuffixEnd
+				}
+				if hit, ok := sess.MapSegment(seg); ok {
+					mp.Mapped = true
+					mp.Contig = int(hit.Subject)
+					mp.ContigID = m.core.Subject(hit.Subject).Name
+					mp.SharedTrials = int(hit.Count)
+				}
+				ms[si] = mp
+			}
+			out[i] = ms
+		})
+	flat := make([]Mapping, 0, 2*len(batch))
+	for _, ms := range out {
+		flat = append(flat, ms...)
+	}
+	return flat
+}

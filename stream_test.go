@@ -1,0 +1,103 @@
+package jem_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+func TestMapStreamMatchesMapReads(t *testing.T) {
+	ds := buildSmallDataset(t)
+	opts := jem.DefaultOptions()
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize the reads to FASTQ, then map them as a stream.
+	var reads bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(&reads, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stream saw %d reads, want %d", stats.Reads, len(ds.Reads))
+	}
+	if stats.Segments != 2*len(ds.Reads) {
+		t.Errorf("stream mapped %d segments, want %d", stats.Segments, 2*len(ds.Reads))
+	}
+	// The streamed TSV must parse back to exactly the in-memory result.
+	parsed, err := jem.ReadTSV(&out, ds.Reads, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mapper.MapReads(ds.Reads)
+	if !reflect.DeepEqual(parsed, want) {
+		t.Error("streamed mappings differ from in-memory mappings")
+	}
+	mappedWant := 0
+	for _, m := range want {
+		if m.Mapped {
+			mappedWant++
+		}
+	}
+	if stats.Mapped != mappedWant {
+		t.Errorf("stats.Mapped = %d want %d", stats.Mapped, mappedWant)
+	}
+}
+
+func TestMapStreamEmptyInput(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(bytes.NewReader(nil), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads != 0 || stats.Segments != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestMapStreamMalformedInput(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := mapper.MapStream(bytes.NewReader([]byte("@broken\nACGT\nIIII\n")), &out); err == nil {
+		t.Error("malformed FASTQ should fail")
+	}
+}
+
+// writeFASTQ is a tiny local helper so the test controls exactly what
+// bytes enter the stream.
+func writeFASTQ(buf *bytes.Buffer, records []jem.Record) error {
+	for _, r := range records {
+		if r.Desc != "" {
+			if _, err := buf.WriteString("@" + r.ID + " " + r.Desc + "\n"); err != nil {
+				return err
+			}
+		} else {
+			if _, err := buf.WriteString("@" + r.ID + "\n"); err != nil {
+				return err
+			}
+		}
+		buf.Write(r.Seq)
+		buf.WriteString("\n+\n")
+		for range r.Seq {
+			buf.WriteByte('I')
+		}
+		buf.WriteByte('\n')
+	}
+	return nil
+}

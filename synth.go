@@ -1,0 +1,150 @@
+package jem
+
+import (
+	"repro/internal/assemble"
+	"repro/internal/genome"
+	"repro/internal/simulate"
+)
+
+// SynthesisConfig describes a complete synthetic hybrid-sequencing
+// dataset: a reference genome, an Illumina short-read run assembled
+// into contigs, and a HiFi long-read run.
+type SynthesisConfig struct {
+	// Name labels the dataset.
+	Name string
+	// GenomeLength is the reference length in bases.
+	GenomeLength int
+	// RepeatFraction (0..1) controls genome complexity; higher values
+	// emulate repetitive eukaryotic genomes.
+	RepeatFraction float64
+	// RepeatDivergence (0..1) is the per-base divergence between
+	// repeat copies; 0 means 0.05.
+	RepeatDivergence float64
+	// Heterozygosity makes the genome diploid with this per-base SNP
+	// rate between haplotypes; both read sets are then drawn from both
+	// haplotypes (half the coverage each). SNP-only variation keeps
+	// ground-truth coordinates valid on haplotype 1.
+	Heterozygosity float64
+	// HiFiCoverage is the long-read depth; 0 means 10 (the paper's
+	// simulated setting).
+	HiFiCoverage float64
+	// HiFiMedianLen is the median long-read length; 0 means 10000.
+	HiFiMedianLen int
+	// ShortCoverage is the Illumina depth feeding the assembler; 0
+	// means 30.
+	ShortCoverage float64
+	// AssemblyK is the de Bruijn k; 0 means 31.
+	AssemblyK int
+	// DisableBubblePopping passes through to the assembler (ablation
+	// knob; popping is on by default).
+	DisableBubblePopping bool
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// Workers bounds parallelism; ≤0 means GOMAXPROCS.
+	Workers int
+}
+
+// Dataset is a synthesized hybrid-sequencing input with ground truth.
+type Dataset struct {
+	Name string
+	// Chromosomes is the reference the reads were sampled from.
+	Chromosomes []Record
+	// Contigs is the short-read assembly (the subject set S).
+	Contigs []Record
+	// Reads are the HiFi long reads (the query set Q).
+	Reads []Record
+	// Truth carries per-read sampling coordinates for benchmarking.
+	Truth []simulate.Read
+	// AssemblyStats summarizes the contig set.
+	AssemblyStats assemble.Stats
+}
+
+// Synthesize builds a full dataset: genome → short reads → contigs,
+// plus long reads with ground-truth coordinates. It substitutes for
+// the paper's NCBI + ART + Minia + Sim-it pipeline.
+func Synthesize(cfg SynthesisConfig) (*Dataset, error) {
+	if cfg.HiFiCoverage == 0 {
+		cfg.HiFiCoverage = 10
+	}
+	if cfg.ShortCoverage == 0 {
+		cfg.ShortCoverage = 30
+	}
+	if cfg.RepeatDivergence == 0 {
+		cfg.RepeatDivergence = 0.05
+	}
+	g, err := genome.Generate(genome.Config{
+		Name:             cfg.Name,
+		Length:           cfg.GenomeLength,
+		RepeatFraction:   cfg.RepeatFraction,
+		RepeatDivergence: cfg.RepeatDivergence,
+		Heterozygosity:   cfg.Heterozygosity,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shortCov := cfg.ShortCoverage
+	hifiCov := cfg.HiFiCoverage
+	diploid := g.Haplotype2 != nil
+	if diploid {
+		shortCov /= 2
+		hifiCov /= 2
+	}
+	short, err := simulate.Illumina(g.Records, simulate.IlluminaConfig{
+		Coverage: shortCov,
+		Seed:     cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shortRecs := simulate.Records(short)
+	if diploid {
+		short2, err := simulate.Illumina(g.Haplotype2, simulate.IlluminaConfig{
+			Coverage:   shortCov,
+			Seed:       cfg.Seed + 3,
+			NamePrefix: "sr2",
+		})
+		if err != nil {
+			return nil, err
+		}
+		shortRecs = append(shortRecs, simulate.Records(short2)...)
+	}
+	asm, err := assemble.Assemble(shortRecs, assemble.Config{
+		K:                    cfg.AssemblyK,
+		Workers:              cfg.Workers,
+		DisableBubblePopping: cfg.DisableBubblePopping,
+	})
+	if err != nil {
+		return nil, err
+	}
+	long, err := simulate.HiFi(g.Records, simulate.HiFiConfig{
+		Coverage:  hifiCov,
+		MedianLen: cfg.HiFiMedianLen,
+		Seed:      cfg.Seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if diploid {
+		// SNP-only haplotypes share coordinates, so hap2 reads keep
+		// valid hap1 ground truth.
+		long2, err := simulate.HiFi(g.Haplotype2, simulate.HiFiConfig{
+			Coverage:   hifiCov,
+			MedianLen:  cfg.HiFiMedianLen,
+			Seed:       cfg.Seed + 4,
+			NamePrefix: "hifi2",
+		})
+		if err != nil {
+			return nil, err
+		}
+		long = append(long, long2...)
+	}
+	return &Dataset{
+		Name:          cfg.Name,
+		Chromosomes:   g.Records,
+		Contigs:       asm.Contigs,
+		Reads:         simulate.Records(long),
+		Truth:         long,
+		AssemblyStats: asm.Stats,
+	}, nil
+}

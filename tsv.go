@@ -1,0 +1,66 @@
+package jem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTSV parses a mapping table previously written by WriteTSV,
+// resolving read and contig names against the given record slices.
+// The header line is optional. Unmapped rows ("*") round-trip to
+// Mapped=false.
+func ReadTSV(r io.Reader, reads, contigs []Record) ([]Mapping, error) {
+	readIdx := make(map[string]int, len(reads))
+	for i := range reads {
+		readIdx[reads[i].ID] = i
+	}
+	contigIdx := make(map[string]int, len(contigs))
+	for i := range contigs {
+		contigIdx[contigs[i].ID] = i
+	}
+	var out []Mapping
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "read_id") {
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("jem: tsv line %d: expected 4 tab-separated fields, got %d", line, len(fields))
+		}
+		ri, ok := readIdx[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("jem: tsv line %d: unknown read %q", line, fields[0])
+		}
+		m := Mapping{ReadIndex: ri, ReadID: fields[0], End: SegmentEnd(fields[1])}
+		if m.End != PrefixEnd && m.End != SuffixEnd {
+			return nil, fmt.Errorf("jem: tsv line %d: bad end %q", line, fields[1])
+		}
+		if fields[2] != "*" {
+			ci, ok := contigIdx[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("jem: tsv line %d: unknown contig %q", line, fields[2])
+			}
+			trials, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("jem: tsv line %d: bad shared_trials %q", line, fields[3])
+			}
+			m.Mapped, m.Contig, m.ContigID, m.SharedTrials = true, ci, fields[2], trials
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

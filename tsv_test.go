@@ -1,0 +1,85 @@
+package jem_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	reads := []jem.Record{{ID: "r0"}, {ID: "r1"}}
+	contigs := []jem.Record{{ID: "c0"}, {ID: "c1"}}
+	mappings := []jem.Mapping{
+		{ReadIndex: 0, ReadID: "r0", End: jem.PrefixEnd, Mapped: true, Contig: 1, ContigID: "c1", SharedTrials: 17},
+		{ReadIndex: 0, ReadID: "r0", End: jem.SuffixEnd},
+		{ReadIndex: 1, ReadID: "r1", End: jem.PrefixEnd, Mapped: true, Contig: 0, ContigID: "c0", SharedTrials: 30},
+	}
+	var buf bytes.Buffer
+	if err := jem.WriteTSV(&buf, mappings); err != nil {
+		t.Fatal(err)
+	}
+	got, err := jem.ReadTSV(&buf, reads, contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, mappings) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, mappings)
+	}
+}
+
+func TestReadTSVWithoutHeader(t *testing.T) {
+	reads := []jem.Record{{ID: "r0"}}
+	contigs := []jem.Record{{ID: "c0"}}
+	got, err := jem.ReadTSV(strings.NewReader("r0\tprefix\tc0\t5\n"), reads, contigs)
+	if err != nil || len(got) != 1 || !got[0].Mapped {
+		t.Errorf("got %+v err %v", got, err)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	reads := []jem.Record{{ID: "r0"}}
+	contigs := []jem.Record{{ID: "c0"}}
+	cases := []string{
+		"r0\tprefix\tc0\n",         // missing column
+		"rX\tprefix\tc0\t5\n",      // unknown read
+		"r0\tmiddle\tc0\t5\n",      // bad end
+		"r0\tprefix\tcX\t5\n",      // unknown contig
+		"r0\tprefix\tc0\tbanana\n", // bad trials
+	}
+	for _, in := range cases {
+		if _, err := jem.ReadTSV(strings.NewReader(in), reads, contigs); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+	// Blank lines are tolerated.
+	got, err := jem.ReadTSV(strings.NewReader("\n\nr0\tprefix\t*\t0\n\n"), reads, contigs)
+	if err != nil || len(got) != 1 || got[0].Mapped {
+		t.Errorf("blank-line input: %+v err %v", got, err)
+	}
+}
+
+// FuzzReadTSV asserts the TSV parser never panics.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("read_id\tend\tcontig_id\tshared_trials\nr0\tprefix\tc0\t5\n")
+	f.Add("r0\tsuffix\t*\t0\n")
+	f.Add("\x00\t\t\t\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		reads := []jem.Record{{ID: "r0"}}
+		contigs := []jem.Record{{ID: "c0"}}
+		mappings, err := jem.ReadTSV(strings.NewReader(data), reads, contigs)
+		if err != nil {
+			return
+		}
+		for _, m := range mappings {
+			if m.ReadIndex != 0 {
+				t.Fatalf("accepted mapping with bad read index: %+v", m)
+			}
+			if m.Mapped && m.Contig != 0 {
+				t.Fatalf("accepted mapping with bad contig: %+v", m)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package jem
+
+import (
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// VerifyOptions configures alignment-verified mapping.
+type VerifyOptions struct {
+	// TopX is how many sketch candidates to rescore per segment
+	// (default 3).
+	TopX int
+	// MinIdentity drops verified mappings below this percent identity
+	// (default 80).
+	MinIdentity float64
+}
+
+func (v VerifyOptions) withDefaults() VerifyOptions {
+	if v.TopX == 0 {
+		v.TopX = 3
+	}
+	if v.MinIdentity == 0 {
+		v.MinIdentity = 80
+	}
+	return v
+}
+
+// VerifiedMapping is a mapping whose best hit was chosen by banded
+// alignment among the sketch's top-x candidates.
+type VerifiedMapping struct {
+	Mapping
+	// Identity is the percent identity of the winning alignment.
+	Identity float64
+	// CIGAR is the winning alignment's CIGAR string (query = segment).
+	CIGAR string
+	// TargetStart/TargetEnd is the aligned span on the contig.
+	TargetStart, TargetEnd int
+	// Reverse is true when the segment aligned as its reverse
+	// complement (SAM flag 0x10).
+	Reverse bool
+	// Rescued is true when verification changed the winner relative
+	// to plain trial-count ranking.
+	Rescued bool
+}
+
+// MapReadsVerified maps end segments by sketch, then rescoreseach
+// segment's top-x candidates with a banded local alignment and reports
+// the alignment winner — the paper's future-work direction (i):
+// trading a little alignment work (x alignments per segment instead of
+// |S|) for precision on repetitive inputs. Requires the mapper to have
+// been built with contig records (NewMapper retains them; index-loaded
+// mappers need them passed to LoadMapper).
+func (m *Mapper) MapReadsVerified(reads []Record, vo VerifyOptions) []VerifiedMapping {
+	vo = vo.withDefaults()
+	sc := align.DefaultScoring()
+	out := make([][]VerifiedMapping, len(reads))
+	parallel.ForEachWorker(len(reads), m.opts.Workers,
+		func() *core.Session { return m.core.NewSession() },
+		func(sess *core.Session, i int) {
+			segs, kinds := core.EndSegments(reads[i].Seq, m.opts.SegmentLen)
+			vms := make([]VerifiedMapping, 0, len(segs))
+			for si, seg := range segs {
+				vm := VerifiedMapping{Mapping: Mapping{
+					ReadIndex: i,
+					ReadID:    reads[i].ID,
+					End:       PrefixEnd,
+				}}
+				if kinds[si] == core.Suffix {
+					vm.End = SuffixEnd
+				}
+				hits := sess.MapSegmentTopK(seg, vo.TopX)
+				bestIdx := -1
+				bestRev := false
+				var best align.Result
+				for hi, h := range hits {
+					res, rev := align.FastIdentityStranded(seg, m.contigs[h.Subject].Seq, sc, 64)
+					if bestIdx < 0 || res.Score > best.Score {
+						best = res
+						bestRev = rev
+						bestIdx = hi
+					}
+				}
+				if bestIdx >= 0 && best.PercentIdentity() >= vo.MinIdentity {
+					h := hits[bestIdx]
+					vm.Mapped = true
+					vm.Contig = int(h.Subject)
+					vm.ContigID = m.core.Subject(h.Subject).Name
+					vm.SharedTrials = int(h.Count)
+					vm.Identity = best.PercentIdentity()
+					vm.CIGAR = best.CIGAR()
+					vm.TargetStart = best.BStart
+					vm.TargetEnd = best.BEnd
+					vm.Reverse = bestRev
+					vm.Rescued = bestIdx != 0
+				}
+				vms = append(vms, vm)
+			}
+			out[i] = vms
+		})
+	flat := make([]VerifiedMapping, 0, 2*len(reads))
+	for _, vms := range out {
+		flat = append(flat, vms...)
+	}
+	return flat
+}
