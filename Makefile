@@ -22,11 +22,15 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz sessions over the three fuzz targets.
+# Short fuzz sessions over the fuzz targets.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/seq/
-	$(GO) test -fuzz FuzzDecodeTable -fuzztime 30s ./internal/sketch/
-	$(GO) test -fuzz FuzzReadTSV -fuzztime 30s .
+	$(GO) test -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/seq/
+	$(GO) test -fuzz FuzzDecodeTable -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -fuzz FuzzDecodeFrozenTable -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -fuzz FuzzQuerySketch -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -fuzz FuzzReadIndex -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzReadTSV -fuzztime $(FUZZTIME) .
 
 # Regenerate every table and figure (see EXPERIMENTS.md).
 repro:
@@ -35,5 +39,8 @@ repro:
 repro-quick:
 	$(GO) run ./cmd/jem-bench -scale 0.002 all
 
+# clean removes only scratch artifacts. The CSVs under exhibits/ are
+# committed fixtures; `make repro` regenerates them in place, so they
+# must survive a clean checkout + make clean.
 clean:
-	rm -rf exhibits
+	rm -f *.test cpu.prof mem.prof *.pprof

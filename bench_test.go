@@ -14,7 +14,9 @@
 package jem_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro"
@@ -238,6 +240,33 @@ func BenchmarkMapReads(b *testing.B) {
 	var segments int
 	for i := 0; i < b.N; i++ {
 		segments = len(mapper.MapReads(d.Reads))
+	}
+	b.ReportMetric(float64(segments)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
+}
+
+// BenchmarkMapStream measures the pipelined streaming path end to end
+// (FASTQ parse → worker pool → in-order TSV write) on the same input
+// as BenchmarkMapReads, so the two throughputs are comparable.
+func BenchmarkMapStream(b *testing.B) {
+	d := benchDataset(b)
+	mapper, err := jem.NewMapper(d.Contigs, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fastq bytes.Buffer
+	if err := writeFASTQ(&fastq, d.Reads); err != nil {
+		b.Fatal(err)
+	}
+	input := fastq.Bytes()
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	var segments int
+	for i := 0; i < b.N; i++ {
+		stats, err := mapper.MapStream(bytes.NewReader(input), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segments = stats.Segments
 	}
 	b.ReportMetric(float64(segments)*float64(b.N)/b.Elapsed().Seconds(), "segments/s")
 }

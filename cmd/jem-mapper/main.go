@@ -11,10 +11,14 @@
 package main
 
 import (
+	"bufio"
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro"
@@ -34,6 +38,7 @@ func main() {
 		sam     = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
 		saveIdx = flag.String("save-index", "", "write the sketch index here after building")
 		loadIdx = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
+		stream  = flag.Bool("stream", false, "map reads as a stream (bounded memory) and report per-phase stats")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
 	)
 	flag.Usage = func() {
@@ -49,7 +54,7 @@ func main() {
 	cfg := runConfig{
 		contigPath: flag.Arg(0), readPath: flag.Arg(1),
 		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
-		saveIndex: *saveIdx, loadIndex: *loadIdx, cpuProfile: *cpuProf,
+		saveIndex: *saveIdx, loadIndex: *loadIdx, stream: *stream, cpuProfile: *cpuProf,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
@@ -65,6 +70,7 @@ type runConfig struct {
 	paf                  bool
 	sam                  bool
 	saveIndex, loadIndex string
+	stream               bool
 	cpuProfile           string
 }
 
@@ -83,14 +89,22 @@ func run(cfg runConfig) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if cfg.stream && (cfg.paf || cfg.sam || cfg.ranks > 0) {
+		return fmt.Errorf("-stream writes TSV only and runs shared-memory (drop -paf/-sam/-p)")
+	}
 	start := time.Now()
 	contigs, err := jem.ReadSequences(cfg.contigPath)
 	if err != nil {
 		return err
 	}
-	reads, err := jem.ReadSequences(cfg.readPath)
-	if err != nil {
-		return err
+	var reads []jem.Record
+	if !cfg.stream {
+		// Stream mode never materializes the read set; everyone else
+		// loads it up front.
+		reads, err = jem.ReadSequences(cfg.readPath)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d contigs, %d reads in %v\n",
 		len(contigs), len(reads), time.Since(start).Round(time.Millisecond))
@@ -153,6 +167,11 @@ func run(cfg runConfig) error {
 	}
 
 	mapStart := time.Now()
+	if cfg.stream {
+		stats, err := mapStreaming(mapper, cfg.readPath, out)
+		printStats(os.Stderr, stats, time.Since(mapStart))
+		return err
+	}
 	if cfg.sam {
 		vms := mapper.MapReadsVerified(reads, jem.VerifyOptions{})
 		fmt.Fprintf(os.Stderr, "verified %d segments in %v\n",
@@ -169,4 +188,38 @@ func run(cfg runConfig) error {
 	fmt.Fprintf(os.Stderr, "mapped %d segments in %v\n",
 		len(mappings), time.Since(mapStart).Round(time.Millisecond))
 	return jem.WriteTSV(out, mappings)
+}
+
+// mapStreaming runs the pipelined streaming path over the reads file
+// (gzip-transparent) and returns its per-phase stats.
+func mapStreaming(mapper *jem.Mapper, readPath string, out *os.File) (jem.Stats, error) {
+	f, err := os.Open(readPath)
+	if err != nil {
+		return jem.Stats{}, err
+	}
+	defer f.Close()
+	var src io.Reader = f
+	if strings.HasSuffix(readPath, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return jem.Stats{}, err
+		}
+		defer gz.Close()
+		src = gz
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	stats, err := mapper.MapStream(src, bw)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	return stats, err
+}
+
+// printStats renders the jem.Stats snapshot on one line per phase.
+func printStats(w io.Writer, s jem.Stats, elapsed time.Duration) {
+	fmt.Fprintf(w, "streamed %d reads -> %d segments (%d mapped), %d postings scanned in %v\n",
+		s.Reads, s.Segments, s.Mapped, s.PostingsScanned, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  phase wall: read %v, map %v, write %v\n",
+		s.ReadWall.Round(time.Millisecond), s.MapWall.Round(time.Millisecond),
+		s.WriteWall.Round(time.Millisecond))
 }

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/seq"
@@ -63,11 +64,22 @@ type SubjectMeta struct {
 }
 
 // Mapper holds the sketch table over a subject set.
+//
+// A mapper starts mutable (subjects can be added) and is sealed by
+// Seal before serving: sealing converts the hash-map table into the
+// cache-friendly frozen sorted-array form that every lookup then uses,
+// and frees the mutable table. The distributed driver reaches the same
+// state through SetFrozen (its frozen table is built by the gather
+// merge instead).
 type Mapper struct {
 	sk       *sketch.Sketcher
 	table    *sketch.Table
 	frozen   *sketch.FrozenTable
 	subjects []SubjectMeta
+	sealed   bool
+	// sessions counts sessions ever issued; once positive, the subject
+	// set must not grow (sessions size their counter arrays to it).
+	sessions atomic.Int32
 }
 
 // NewMapper creates a Mapper with the given sketch parameters.
@@ -84,13 +96,63 @@ func NewMapper(p sketch.Params) (*Mapper, error) {
 func (m *Mapper) Sketcher() *sketch.Sketcher { return m.sk }
 
 // Table exposes the mutable sketch table (used by the distributed
-// driver's gather step and by table-size statistics).
+// driver's gather step and by table-size statistics). It is nil after
+// Seal, which drops the mutable form in favor of the frozen one.
 func (m *Mapper) Table() *sketch.Table { return m.table }
+
+// Frozen exposes the frozen table, nil until Seal or SetFrozen.
+func (m *Mapper) Frozen() *sketch.FrozenTable { return m.frozen }
 
 // SetFrozen installs a frozen (sorted-array) global table; subsequent
 // lookups use it instead of the mutable hash table. The distributed
 // driver builds it straight from the allgathered payloads.
-func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) { m.frozen = ft }
+func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) {
+	if ft == nil && m.table == nil {
+		panic("core: cannot clear the frozen table of a sealed mapper (no mutable table remains)")
+	}
+	m.frozen = ft
+}
+
+// Seal freezes the mapper for serving: the mutable hash-map table is
+// converted into the frozen sorted-array form (unless SetFrozen
+// already installed one) and then dropped, so every subsequent lookup
+// takes the cache-friendly path. Adding subjects or merging tables
+// after Seal panics. Seal is idempotent.
+func (m *Mapper) Seal() {
+	if m.sealed {
+		return
+	}
+	if m.frozen == nil {
+		m.frozen = m.table.Freeze()
+	}
+	m.table = nil
+	m.sealed = true
+}
+
+// Sealed reports whether Seal has run.
+func (m *Mapper) Sealed() bool { return m.sealed }
+
+// Entries returns the total posting count of the active table (frozen
+// after Seal/SetFrozen, mutable before).
+func (m *Mapper) Entries() int {
+	if m.frozen != nil {
+		return m.frozen.Entries()
+	}
+	return m.table.Entries()
+}
+
+// mutationGuard panics when the subject set may no longer grow: after
+// Seal, and after any session has been issued (sessions size their
+// counter arrays to the subject count at creation, so a later
+// out-of-range subject id would corrupt or panic mid-query).
+func (m *Mapper) mutationGuard(op string) {
+	if m.sealed {
+		panic(fmt.Sprintf("core: %s on a sealed mapper", op))
+	}
+	if m.sessions.Load() > 0 {
+		panic(fmt.Sprintf("core: %s after sessions were created; the mapper must not gain subjects while sessions exist", op))
+	}
+}
 
 // lookup dispatches to the frozen table when one is installed.
 func (m *Mapper) lookup(t int, w sketch.Word) []sketch.Posting {
@@ -110,6 +172,7 @@ func (m *Mapper) Subject(id int32) SubjectMeta { return m.subjects[id] }
 // are assigned densely in input order, continuing from any previously
 // added subjects.
 func (m *Mapper) AddSubjects(contigs []seq.Record) {
+	m.mutationGuard("AddSubjects")
 	for i := range contigs {
 		id := int32(len(m.subjects))
 		m.subjects = append(m.subjects, SubjectMeta{Name: contigs[i].ID, Length: int32(len(contigs[i].Seq))})
@@ -122,6 +185,7 @@ func (m *Mapper) AddSubjects(contigs []seq.Record) {
 // workers (≤0 means GOMAXPROCS) and inserts them in input order, so
 // results are identical to AddSubjects.
 func (m *Mapper) AddSubjectsParallel(contigs []seq.Record, workers int) {
+	m.mutationGuard("AddSubjectsParallel")
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -159,6 +223,7 @@ func (m *Mapper) AddSubjectsParallel(contigs []seq.Record, workers int) {
 // on every rank (metadata is small and replicated) while the sketch
 // table itself is built per-rank and merged via MergeTable.
 func (m *Mapper) RegisterSubjects(contigs []seq.Record) {
+	m.mutationGuard("RegisterSubjects")
 	for i := range contigs {
 		m.subjects = append(m.subjects, SubjectMeta{Name: contigs[i].ID, Length: int32(len(contigs[i].Seq))})
 	}
@@ -168,6 +233,7 @@ func (m *Mapper) RegisterSubjects(contigs []seq.Record) {
 // mapper's global table (the union step S3 of Algorithm 2's
 // parallelization).
 func (m *Mapper) MergeTable(tb *sketch.Table) {
+	m.mutationGuard("MergeTable")
 	m.table.Merge(tb)
 }
 
@@ -178,16 +244,21 @@ func (m *Mapper) MergeTable(tb *sketch.Table) {
 // to the table and are NOT safe for concurrent use; create one per
 // goroutine.
 type Session struct {
-	m     *Mapper
-	count []int32
-	lastq []int32
-	qid   int32
-	cand  []int32 // subjects touched by the current query
+	m       *Mapper
+	count   []int32
+	lastq   []int32
+	qid     int32
+	cand    []int32            // subjects touched by the current query
+	plists  [][]sketch.Posting // per-trial postings of the current query
+	scanned int64              // postings examined across all queries
 }
 
 // NewSession creates a mapping session over the mapper's current
-// subject set. The mapper must not gain subjects while sessions exist.
+// subject set. The mapper must not gain subjects while sessions exist
+// (enforced: AddSubjects and friends panic once a session has been
+// issued).
 func (m *Mapper) NewSession() *Session {
+	m.sessions.Add(1)
 	n := len(m.subjects)
 	s := &Session{
 		m:     m,
@@ -201,6 +272,11 @@ func (m *Mapper) NewSession() *Session {
 	return s
 }
 
+// PostingsScanned returns the cumulative number of sketch-table
+// postings this session has examined — the dominant unit of query
+// work, surfaced through jem.Stats for serving telemetry.
+func (s *Session) PostingsScanned() int64 { return s.scanned }
+
 // MapSegment maps one end segment and returns its best hit. ok=false
 // means the segment produced no sketch or no subject was hit in any
 // trial. Ties are broken toward the lower subject id for determinism.
@@ -213,7 +289,9 @@ func (s *Session) MapSegment(segment []byte) (Hit, bool) {
 	qid := s.qid
 	s.cand = s.cand[:0]
 	for t, w := range words {
-		for _, p := range s.m.lookup(t, w) {
+		ps := s.m.lookup(t, w)
+		s.scanned += int64(len(ps))
+		for _, p := range ps {
 			subj := p.Subject
 			if s.lastq[subj] != qid {
 				s.lastq[subj] = qid
@@ -266,8 +344,15 @@ func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	s.qid++
 	qid := s.qid
 	s.cand = s.cand[:0]
+	// Cache each trial's posting list during the counting pass so the
+	// offset-vote pass below can reuse the slices instead of paying a
+	// second round of T table lookups.
+	s.plists = s.plists[:0]
 	for t, w := range words {
-		for _, p := range s.m.lookup(t, w) {
+		ps := s.m.lookup(t, w)
+		s.plists = append(s.plists, ps)
+		s.scanned += int64(len(ps))
+		for _, p := range ps {
 			subj := p.Subject
 			if s.lastq[subj] != qid {
 				s.lastq[subj] = qid
@@ -293,8 +378,8 @@ func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	// anchor + qpos ≈ start + len(segment) − k. The true hypothesis
 	// clusters tightly around one value while the false one spreads.
 	var fwd, rev []int32
-	for t, w := range words {
-		for _, p := range s.m.lookup(t, w) {
+	for t := range words {
+		for _, p := range s.plists[t] {
 			if p.Subject == best.Subject && p.Anchor >= 0 {
 				fwd = append(fwd, p.Anchor-qpos[t])
 				rev = append(rev, p.Anchor+qpos[t])
@@ -352,7 +437,9 @@ func (s *Session) MapSegmentTopK(segment []byte, k int) []Hit {
 	qid := s.qid
 	s.cand = s.cand[:0]
 	for t, w := range words {
-		for _, p := range s.m.lookup(t, w) {
+		ps := s.m.lookup(t, w)
+		s.scanned += int64(len(ps))
+		for _, p := range ps {
 			subj := p.Subject
 			if s.lastq[subj] != qid {
 				s.lastq[subj] = qid

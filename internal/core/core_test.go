@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -560,4 +561,101 @@ func TestSessionQueryIDIsolation(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestSealedMapperMatchesMutable pins the tentpole invariant: sealing
+// a mapper (freezing its table in memory and dropping the hash form)
+// must not change a single mapping decision.
+func TestSealedMapperMatchesMutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	_, contigs, reads, _ := makeWorld(t, rng, 24_000, 600, 15)
+	p := smallParams()
+	mut, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut.AddSubjects(contigs)
+	sealed, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.AddSubjects(contigs)
+	wantEntries := mut.Table().Entries()
+
+	sealed.Seal()
+	sealed.Seal() // idempotent
+	if !sealed.Sealed() {
+		t.Fatal("Sealed() false after Seal")
+	}
+	if sealed.Table() != nil {
+		t.Fatal("sealed mapper still holds its mutable table")
+	}
+	if sealed.Frozen() == nil {
+		t.Fatal("sealed mapper has no frozen table")
+	}
+	if sealed.Entries() != wantEntries {
+		t.Fatalf("sealing changed entry count: %d != %d", sealed.Entries(), wantEntries)
+	}
+
+	r1 := mut.MapReads(reads, p.L, 2)
+	r2 := sealed.MapReads(reads, p.L, 2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("sealed mapper maps reads differently from mutable mapper")
+	}
+	s1, s2 := mut.NewSession(), sealed.NewSession()
+	for i := 0; i < 40; i++ {
+		seg := randDNA(rng, p.L)
+		h1, ok1 := s1.MapSegmentPositional(seg)
+		h2, ok2 := s2.MapSegmentPositional(seg)
+		if ok1 != ok2 || h1 != h2 {
+			t.Fatalf("positional segment %d: %v,%v != %v,%v", i, h1, ok1, h2, ok2)
+		}
+	}
+}
+
+// TestSealedMapperPanicsOnMutation: every subject-growing entry point
+// must refuse to run on a sealed mapper rather than desync the frozen
+// table from the subject metadata.
+func TestSealedMapperPanicsOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	contigs := []seq.Record{{ID: "c0", Seq: randDNA(rng, 600)}}
+	p := smallParams()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a sealed mapper did not panic", name)
+			}
+		}()
+		f()
+	}
+	m, _ := NewMapper(p)
+	m.AddSubjects(contigs)
+	m.Seal()
+	mustPanic("AddSubjects", func() { m.AddSubjects(contigs) })
+	mustPanic("AddSubjectsParallel", func() { m.AddSubjectsParallel(contigs, 2) })
+	mustPanic("RegisterSubjects", func() { m.RegisterSubjects(contigs) })
+	mustPanic("MergeTable", func() { m.MergeTable(sketch.NewTable(p.T)) })
+}
+
+// TestMutationAfterSessionPanics: sessions snapshot nothing — they
+// read the live table — so growing the subject set once any session
+// exists is a data race by construction and must panic loudly.
+func TestMutationAfterSessionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	contigs := []seq.Record{{ID: "c0", Seq: randDNA(rng, 600)}}
+	m, _ := NewMapper(smallParams())
+	m.AddSubjects(contigs)
+	_ = m.NewSession()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddSubjects after NewSession did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "must not gain subjects while sessions exist") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	m.AddSubjects(contigs)
 }

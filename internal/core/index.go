@@ -10,14 +10,29 @@ import (
 	"repro/internal/sketch"
 )
 
-// indexMagic identifies a serialized mapper index; the version is
-// bumped on any format change.
-var indexMagic = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
+// Index format magics. JEMIDX03 adds a table-kind byte after the
+// subject metadata so a sealed mapper serializes its frozen
+// sorted-array table directly (and a distributed SetFrozen mapper no
+// longer silently writes its empty mutable table — the bug JEMIDX02
+// writers had). JEMIDX02 files remain readable: their body is the
+// mutable-table encoding with no kind byte.
+var (
+	indexMagic       = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '3'}
+	indexMagicLegacy = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
+)
+
+// Table-kind byte values in a JEMIDX03 body.
+const (
+	tableKindMutable = 0 // sketch.Table.Encode format
+	tableKindFrozen  = 1 // sketch.FrozenTable.Encode format
+)
 
 // WriteIndex serializes the mapper — sketch parameters, subject
-// metadata and the sketch table — so an index built once can be reused
-// across runs (jem-mapper -save-index / -load-index). The format is
-// little-endian binary, stable across platforms.
+// metadata and the ACTIVE sketch table — so an index built once can be
+// reused across runs (jem-mapper -save-index / -load-index). The
+// active table is the frozen one when Seal or SetFrozen installed it,
+// and the mutable hash table otherwise. The format is little-endian
+// binary, stable across platforms.
 func (m *Mapper) WriteIndex(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(indexMagic[:]); err != nil {
@@ -46,20 +61,35 @@ func (m *Mapper) WriteIndex(w io.Writer) error {
 			return err
 		}
 	}
-	if err := m.table.Encode(bw); err != nil {
-		return err
+	if m.frozen != nil {
+		if err := bw.WriteByte(tableKindFrozen); err != nil {
+			return err
+		}
+		if err := m.frozen.Encode(bw); err != nil {
+			return err
+		}
+	} else {
+		if err := bw.WriteByte(tableKindMutable); err != nil {
+			return err
+		}
+		if err := m.table.Encode(bw); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
 // ReadIndex deserializes a mapper previously written by WriteIndex.
+// Both the current JEMIDX03 format and legacy JEMIDX02 files are
+// accepted. A frozen-table index loads as a sealed mapper.
 func ReadIndex(r io.Reader) (*Mapper, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading index magic: %w", err)
 	}
-	if magic != indexMagic {
+	legacy := magic == indexMagicLegacy
+	if magic != indexMagic && !legacy {
 		return nil, fmt.Errorf("core: not a JEM index (magic %q)", magic[:])
 	}
 	var raw [6]uint64
@@ -106,14 +136,37 @@ func ReadIndex(r io.Reader) (*Mapper, error) {
 		}
 		m.subjects = append(m.subjects, SubjectMeta{Name: string(name), Length: int32(length)})
 	}
-	tbl, err := sketch.DecodeTable(br)
-	if err != nil {
-		return nil, fmt.Errorf("core: decoding sketch table: %w", err)
+	kind := byte(tableKindMutable)
+	if !legacy {
+		kind, err = br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading table kind: %w", err)
+		}
 	}
-	if tbl.T() != p.T {
-		return nil, fmt.Errorf("core: table has %d trials, params say %d", tbl.T(), p.T)
+	switch kind {
+	case tableKindMutable:
+		tbl, err := sketch.DecodeTable(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding sketch table: %w", err)
+		}
+		if tbl.T() != p.T {
+			return nil, fmt.Errorf("core: table has %d trials, params say %d", tbl.T(), p.T)
+		}
+		m.table = tbl
+	case tableKindFrozen:
+		ft, err := sketch.DecodeFrozenTable(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding frozen sketch table: %w", err)
+		}
+		if ft.T() != p.T {
+			return nil, fmt.Errorf("core: frozen table has %d trials, params say %d", ft.T(), p.T)
+		}
+		m.frozen = ft
+		m.table = nil
+		m.sealed = true
+	default:
+		return nil, fmt.Errorf("core: unknown table kind %d", kind)
 	}
-	m.table = tbl
 	return m, nil
 }
 

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/seq"
+	"repro/internal/sketch"
 )
 
 func TestIndexRoundTrip(t *testing.T) {
@@ -99,5 +101,190 @@ func TestReadIndexRejectsBadParams(t *testing.T) {
 	}
 	if _, err := ReadIndex(bytes.NewReader(b)); err == nil {
 		t.Error("invalid params should fail")
+	}
+}
+
+// TestIndexRoundTripSealed: a sealed mapper writes the frozen-kind
+// JEMIDX03 body and loads back as a sealed mapper with identical
+// mapping behaviour.
+func TestIndexRoundTripSealed(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	var contigs []seq.Record
+	for i := 0; i < 25; i++ {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("contig_%d", i),
+			Seq: randDNA(rng, 400+rng.Intn(1500)),
+		})
+	}
+	p := smallParams()
+	orig, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.AddSubjects(contigs)
+	orig.Seal()
+
+	var buf bytes.Buffer
+	if err := orig.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Sealed() || loaded.Frozen() == nil || loaded.Table() != nil {
+		t.Fatal("frozen-kind index did not load as a sealed mapper")
+	}
+	if loaded.Entries() != orig.Entries() {
+		t.Fatalf("entries %d != %d", loaded.Entries(), orig.Entries())
+	}
+	if loaded.NumSubjects() != orig.NumSubjects() {
+		t.Fatalf("subjects %d != %d", loaded.NumSubjects(), orig.NumSubjects())
+	}
+	compareMappers(t, rng, contigs, orig, loaded)
+}
+
+// TestIndexRoundTripDistributedFrozen is the regression test for the
+// empty-index bug: a driver that registers subjects, gathers per-rank
+// payloads and installs the merged result with SetFrozen used to save
+// an index whose table section was the untouched (empty) mutable
+// table. The full gather -> save -> load -> map loop must now work.
+func TestIndexRoundTripDistributedFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	var contigs []seq.Record
+	for i := 0; i < 24; i++ {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("contig_%d", i),
+			Seq: randDNA(rng, 500+rng.Intn(1000)),
+		})
+	}
+	p := smallParams()
+	m, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterSubjects(contigs)
+	// Two "ranks" sketch half the contigs each; their encoded payloads
+	// are allgathered and merged, exactly as internal/dist does it.
+	var payloads [][]byte
+	for r := 0; r < 2; r++ {
+		tb := sketch.NewTable(p.T)
+		for i := r * 12; i < (r+1)*12; i++ {
+			tb.Insert(int32(i), m.Sketcher().SubjectSketch(contigs[i].Seq))
+		}
+		var pb bytes.Buffer
+		if err := tb.Encode(&pb); err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, pb.Bytes())
+	}
+	ft, err := sketch.FreezePayloads(p.T, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFrozen(ft)
+
+	var buf bytes.Buffer
+	if err := m.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Entries() == 0 {
+		t.Fatal("regression: saved index lost the gathered table (0 entries)")
+	}
+	if loaded.Entries() != ft.Entries() {
+		t.Fatalf("entries %d != gathered %d", loaded.Entries(), ft.Entries())
+	}
+	compareMappers(t, rng, contigs, m, loaded)
+}
+
+// TestIndexLegacyJEMIDX02Load: files written by the previous format
+// (no table-kind byte, mutable-table body) must still load and map
+// identically to the mapper that would have written them.
+func TestIndexLegacyJEMIDX02Load(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	var contigs []seq.Record
+	for i := 0; i < 15; i++ {
+		contigs = append(contigs, seq.Record{
+			ID:  fmt.Sprintf("contig_%d", i),
+			Seq: randDNA(rng, 400+rng.Intn(800)),
+		})
+	}
+	p := smallParams()
+	orig, err := NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.AddSubjects(contigs)
+
+	// Hand-write the legacy layout: magic, 6 param words, subject
+	// metadata, then the mutable table with no kind byte.
+	var buf bytes.Buffer
+	buf.Write(indexMagicLegacy[:])
+	for _, v := range []uint64{
+		uint64(p.K), uint64(p.W), uint64(p.T), uint64(p.L),
+		uint64(p.Seed), uint64(p.Order),
+	} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(orig.NumSubjects())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumSubjects(); i++ {
+		s := orig.Subject(int32(i))
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(s.Name))); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(s.Name)
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(s.Length)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := orig.Table().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("legacy index rejected: %v", err)
+	}
+	if loaded.Sealed() {
+		t.Fatal("legacy index must load unsealed (mutable table)")
+	}
+	if loaded.Table().Entries() != orig.Table().Entries() {
+		t.Fatalf("entries %d != %d", loaded.Table().Entries(), orig.Table().Entries())
+	}
+	compareMappers(t, rng, contigs, orig, loaded)
+}
+
+// compareMappers asserts two mappers agree on a mix of on-contig and
+// random segments, positionally.
+func compareMappers(t *testing.T, rng *rand.Rand, contigs []seq.Record, a, b *Mapper) {
+	t.Helper()
+	p := a.Sketcher().Params()
+	s1, s2 := a.NewSession(), b.NewSession()
+	for i := 0; i < 40; i++ {
+		var seg []byte
+		if i%2 == 0 {
+			c := contigs[rng.Intn(len(contigs))].Seq
+			off := rng.Intn(len(c)/2 + 1)
+			end := off + p.L
+			if end > len(c) {
+				end = len(c)
+			}
+			seg = c[off:end]
+		} else {
+			seg = randDNA(rng, p.L)
+		}
+		h1, ok1 := s1.MapSegmentPositional(seg)
+		h2, ok2 := s2.MapSegmentPositional(seg)
+		if ok1 != ok2 || h1 != h2 {
+			t.Fatalf("segment %d: %v,%v != %v,%v", i, h1, ok1, h2, ok2)
+		}
 	}
 }

@@ -96,6 +96,70 @@ func BenchmarkDecodeMergeHashTable(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupFrozenVsMutable compares the two serving layouts on
+// the same table at production-ish scale (≥100 indexed contigs): the
+// sorted-array frozen form the sealed mapper serves from must not be
+// slower than the Go-map form it replaced. The word mix is half hits
+// (words actually in the table) and half misses, the realistic query
+// profile.
+func BenchmarkLookupFrozenVsMutable(b *testing.B) {
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(6))
+	tb := NewTable(sk.Params().T)
+	for s := 0; s < 128; s++ {
+		words, anchors := sk.SubjectSketchPositional(randDNA(rng, 3000))
+		tb.InsertPositional(int32(s), words, anchors)
+	}
+	ft := tb.Freeze()
+	var present []kmer.Word
+	for t := 0; t < tb.T(); t++ {
+		for w := range tb.trials[t] {
+			present = append(present, w)
+			if len(present) >= 512 {
+				break
+			}
+		}
+	}
+	probes := make([]kmer.Word, 1024)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = present[rng.Intn(len(present))]
+		} else {
+			probes[i] = kmer.Word(rng.Uint64() & (1<<32 - 1))
+		}
+	}
+	b.Run("mutable", func(b *testing.B) {
+		var total int
+		for i := 0; i < b.N; i++ {
+			total += len(tb.Lookup(i%tb.T(), probes[i%len(probes)]))
+		}
+		_ = total
+	})
+	b.Run("frozen", func(b *testing.B) {
+		var total int
+		for i := 0; i < b.N; i++ {
+			total += len(ft.Lookup(i%ft.T(), probes[i%len(probes)]))
+		}
+		_ = total
+	})
+}
+
+// BenchmarkFreezeDirect measures the in-memory sealing path (what
+// core.Mapper.Seal pays once at the end of indexing).
+func BenchmarkFreezeDirect(b *testing.B) {
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(7))
+	tb := NewTable(sk.Params().T)
+	for s := 0; s < 64; s++ {
+		words, anchors := sk.SubjectSketchPositional(randDNA(rng, 3000))
+		tb.InsertPositional(int32(s), words, anchors)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Freeze()
+	}
+}
+
 func BenchmarkFrozenLookup(b *testing.B) {
 	t, payloads := benchPayloads(b, 4, 16)
 	ft, err := FreezePayloads(t, payloads)

@@ -1,10 +1,12 @@
 package sketch
 
 import (
-	"bytes"
 	"container/heap"
 	"encoding/binary"
 	"fmt"
+	"io"
+	"math/bits"
+	"sort"
 
 	"repro/internal/kmer"
 )
@@ -25,6 +27,42 @@ type frozenBin struct {
 	words    []kmer.Word
 	offsets  []int32 // len(words)+1; postings[offsets[i]:offsets[i+1]]
 	postings []Posting
+
+	// Radix bucket directory over words: bucket b spans the words whose
+	// value >> shift equals b, so buckets[b]..buckets[b+1] is a
+	// near-singleton range and Lookup is O(1) expected instead of a
+	// full log2(words) binary search. Rebuilt after decode, never
+	// serialized.
+	buckets []int32 // len nbuckets+1; lower bounds into words
+	shift   uint
+}
+
+// buildIndex attaches the bucket directory. Sized at ~4 buckets per
+// word (rounded to a power of two), it costs about twice the memory of
+// the word array and leaves almost every bucket a singleton, making
+// the frozen path as fast as the hash map it replaces.
+func (fb *frozenBin) buildIndex() {
+	n := len(fb.words)
+	if n == 0 {
+		fb.buckets = nil
+		fb.shift = 0
+		return
+	}
+	bitlen := bits.Len64(uint64(fb.words[n-1]))
+	b := bits.Len(uint(4*n - 1))
+	if b > bitlen {
+		b = bitlen
+	}
+	fb.shift = uint(bitlen - b)
+	nb := 1 << b
+	fb.buckets = make([]int32, nb+1)
+	idx := 0
+	for v := 0; v <= nb; v++ {
+		for idx < n && int(uint64(fb.words[idx])>>fb.shift) < v {
+			idx++
+		}
+		fb.buckets[v] = int32(idx)
+	}
 }
 
 // T returns the number of trial bins.
@@ -40,8 +78,16 @@ func (ft *FrozenTable) Words(t int) int { return len(ft.trials[t].words) }
 // absent). The returned slice must not be modified.
 func (ft *FrozenTable) Lookup(t int, w kmer.Word) []Posting {
 	bin := &ft.trials[t]
+	nb := len(bin.buckets)
+	if nb == 0 {
+		return nil
+	}
+	bi := uint64(w) >> bin.shift
+	if bi >= uint64(nb-1) {
+		return nil // beyond the largest indexed word
+	}
 	words := bin.words
-	lo, hi := 0, len(words)
+	lo, hi := int(bin.buckets[bi]), int(bin.buckets[bi+1])
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if words[mid] < w {
@@ -200,22 +246,140 @@ func FreezePayloads(t int, payloads [][]byte) (*FrozenTable, error) {
 			}
 		}
 		bin.offsets = append(bin.offsets, int32(len(bin.postings)))
+		bin.buildIndex()
 		ft.entries += len(bin.postings)
 	}
 	return ft, nil
 }
 
-// Freeze converts a mutable Table into its frozen form (primarily for
-// tests and single-process callers that want the compact layout).
+// Freeze converts a mutable Table into its frozen form directly in
+// memory: per trial, the words are sorted and the posting lists laid
+// out contiguously. This is the shared-memory sealing path (the
+// distributed driver uses FreezePayloads instead); it allocates the
+// three flat arrays exactly once per trial and never serializes.
 func (tb *Table) Freeze() *FrozenTable {
-	var buf bytes.Buffer
-	if err := tb.Encode(&buf); err != nil {
-		// bytes.Buffer writes cannot fail.
-		panic(err)
-	}
-	ft, err := FreezePayloads(tb.T(), [][]byte{buf.Bytes()})
-	if err != nil {
-		panic(err)
+	ft := &FrozenTable{trials: make([]frozenBin, tb.T())}
+	for ti, bin := range tb.trials {
+		fb := &ft.trials[ti]
+		fb.words = make([]kmer.Word, 0, len(bin))
+		n := 0
+		for w, list := range bin {
+			fb.words = append(fb.words, w)
+			n += len(list)
+		}
+		sort.Slice(fb.words, func(i, j int) bool { return fb.words[i] < fb.words[j] })
+		fb.offsets = make([]int32, 1, len(bin)+1)
+		fb.postings = make([]Posting, 0, n)
+		for _, w := range fb.words {
+			fb.postings = append(fb.postings, bin[w]...)
+			fb.offsets = append(fb.offsets, int32(len(fb.postings)))
+		}
+		fb.buildIndex()
+		ft.entries += len(fb.postings)
 	}
 	return ft
+}
+
+// Encode serializes the frozen table in its own flat little-endian
+// layout (the JEMIDX03 table section): per trial, the sorted word
+// array, the posting-count prefix offsets, and the flat posting array
+// are written contiguously, so decoding is three bulk reads per trial
+// instead of per-word list parsing.
+func (ft *FrozenTable) Encode(w io.Writer) error {
+	bw := newByteWriter(w)
+	bw.u32(uint32(len(ft.trials)))
+	for i := range ft.trials {
+		fb := &ft.trials[i]
+		bw.u32(uint32(len(fb.words)))
+		bw.u32(uint32(len(fb.postings)))
+		for _, word := range fb.words {
+			bw.u64(uint64(word))
+		}
+		// offsets[0] is always 0; store the len(words) tail.
+		for _, off := range fb.offsets[1:] {
+			bw.u32(uint32(off))
+		}
+		for _, p := range fb.postings {
+			bw.u32(uint32(p.Subject))
+			bw.u32(uint32(p.Anchor))
+		}
+	}
+	return bw.flush()
+}
+
+// DecodeFrozenTable reads a frozen table written by
+// FrozenTable.Encode, validating the sorted-word and monotone-offset
+// invariants so a corrupt stream cannot produce a table that panics on
+// Lookup.
+func DecodeFrozenTable(r io.Reader) (*FrozenTable, error) {
+	br := byteReader{r: r}
+	t, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	if t == 0 || t > 1<<20 {
+		return nil, fmt.Errorf("sketch: implausible trial count %d", t)
+	}
+	ft := &FrozenTable{trials: make([]frozenBin, t)}
+	for ti := 0; ti < int(t); ti++ {
+		nw, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		np, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		fb := &ft.trials[ti]
+		// Never trust counts for allocation: grow with the bytes
+		// actually read (a corrupt stream could claim 2^32 entries).
+		fb.words = make([]kmer.Word, 0, capHint(nw))
+		for i := 0; i < int(nw); i++ {
+			w, err := br.u64()
+			if err != nil {
+				return nil, err
+			}
+			if n := len(fb.words); n > 0 && fb.words[n-1] >= kmer.Word(w) {
+				return nil, fmt.Errorf("sketch: frozen trial %d words not strictly sorted", ti)
+			}
+			fb.words = append(fb.words, kmer.Word(w))
+		}
+		fb.offsets = make([]int32, 1, capHint(nw)+1)
+		for i := 0; i < int(nw); i++ {
+			off, err := br.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int32(off) < fb.offsets[len(fb.offsets)-1] || off > np {
+				return nil, fmt.Errorf("sketch: frozen trial %d offsets not monotone", ti)
+			}
+			fb.offsets = append(fb.offsets, int32(off))
+		}
+		if fb.offsets[len(fb.offsets)-1] != int32(np) {
+			return nil, fmt.Errorf("sketch: frozen trial %d offsets end at %d, want %d",
+				ti, fb.offsets[len(fb.offsets)-1], np)
+		}
+		fb.postings = make([]Posting, 0, capHint(np))
+		for i := 0; i < int(np); i++ {
+			s, err := br.u32()
+			if err != nil {
+				return nil, err
+			}
+			a, err := br.u32()
+			if err != nil {
+				return nil, err
+			}
+			fb.postings = append(fb.postings, Posting{Subject: int32(s), Anchor: int32(a)})
+		}
+		fb.buildIndex()
+		ft.entries += len(fb.postings)
+	}
+	return ft, nil
+}
+
+func capHint(n uint32) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
 }

@@ -5,6 +5,67 @@ import (
 	"testing"
 )
 
+// FuzzDecodeFrozenTable asserts the frozen-table decoder never panics
+// on arbitrary bytes and that every accepted table re-encodes to an
+// equivalent decodable form.
+func FuzzDecodeFrozenTable(f *testing.F) {
+	tb := NewTable(2)
+	tb.InsertPositional(1, [][]Word{{5}, {6, 7}}, [][]int32{{10}, {20, 30}})
+	var buf bytes.Buffer
+	if err := tb.Freeze().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeFrozenTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("re-encode of accepted frozen table failed: %v", err)
+		}
+		again, err := DecodeFrozenTable(&out)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if again.Entries() != got.Entries() || again.T() != got.T() {
+			t.Fatalf("unstable round trip: %d/%d vs %d/%d",
+				again.Entries(), again.T(), got.Entries(), got.T())
+		}
+	})
+}
+
+// FuzzQuerySketch asserts query sketching never panics on arbitrary
+// segments. The corpus seeds cover the pathological shapes around the
+// former querySketchTuples sentinel bug: homopolymer runs whose packed
+// k-mers sit at the extremes of the word space (all-A canonical 0,
+// poly-T canonicalizing onto it) where hash/word ties concentrate.
+func FuzzQuerySketch(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGTACGT"))
+	f.Add(bytes.Repeat([]byte{'T'}, 64)) // max packed word pre-canonicalization
+	f.Add(bytes.Repeat([]byte{'A'}, 64)) // min packed word
+	f.Add(bytes.Repeat([]byte{'G'}, 12))
+	f.Add([]byte("NNNNNNNNNNNN"))
+	f.Add([]byte{})
+	sk, err := NewSketcher(Params{K: 8, W: 4, T: 4, L: 200, Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, segment []byte) {
+		words, pos := sk.QuerySketchPositional(segment)
+		if (words == nil) != (pos == nil) {
+			t.Fatal("words/pos nilness differs")
+		}
+		if words != nil && (len(words) != sk.Params().T || len(pos) != sk.Params().T) {
+			t.Fatalf("got %d words / %d positions, want %d", len(words), len(pos), sk.Params().T)
+		}
+	})
+}
+
 // FuzzDecodeTable asserts the binary decoder never panics on arbitrary
 // bytes and that every accepted table re-encodes to a decodable form.
 func FuzzDecodeTable(f *testing.F) {

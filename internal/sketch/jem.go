@@ -249,9 +249,13 @@ func (s *Sketcher) querySketchTuples(tuples []minimizer.Tuple) ([]kmer.Word, []i
 	out := make([]kmer.Word, s.p.T)
 	pos := make([]int32, s.p.T)
 	for t := 0; t < s.p.T; t++ {
-		best := hentry{h: ^uint64(0), w: ^kmer.Word(0), idx: -1}
-		for i, tp := range tuples {
-			e := hentry{h: s.hf.Hash(t, tp.Kmer), w: tp.Kmer, idx: i}
+		// Seed from the first tuple, not a ⟨max,max⟩ sentinel: a
+		// sentinel is never replaced when every candidate ties it
+		// exactly (possible with a degenerate hash family), which left
+		// idx at -1 and panicked on the tuples[best.idx] below.
+		best := hentry{h: s.hf.Hash(t, tuples[0].Kmer), w: tuples[0].Kmer, idx: 0}
+		for i := 1; i < len(tuples); i++ {
+			e := hentry{h: s.hf.Hash(t, tuples[i].Kmer), w: tuples[i].Kmer, idx: i}
 			if less(e, best) {
 				best = e
 			}

@@ -582,3 +582,146 @@ func TestInsertQueryWords(t *testing.T) {
 		}
 	}
 }
+
+// randomTable builds a table with random positional sketches over
+// nSubjects synthetic contigs (shared by the direct-freeze tests).
+func randomTable(t testing.TB, rng *rand.Rand, trials, nSubjects int) *Table {
+	t.Helper()
+	tb := NewTable(trials)
+	for s := 0; s < nSubjects; s++ {
+		perTrial := make([][]kmer.Word, trials)
+		anchors := make([][]int32, trials)
+		for tr := range perTrial {
+			n := rng.Intn(8)
+			for i := 0; i < n; i++ {
+				perTrial[tr] = append(perTrial[tr], kmer.Word(rng.Intn(300)))
+				anchors[tr] = append(anchors[tr], int32(rng.Intn(100000)))
+			}
+		}
+		tb.InsertPositional(int32(s), perTrial, anchors)
+	}
+	return tb
+}
+
+// TestFreezeDirectMatchesPayloadMerge pins that the in-memory Freeze
+// produces exactly the table the encode→FreezePayloads path would —
+// the two construction routes of the frozen serving table must agree.
+func TestFreezeDirectMatchesPayloadMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tb := randomTable(t, rng, 4, 30)
+
+	direct := tb.Freeze()
+	var buf bytes.Buffer
+	if err := tb.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	viaPayload, err := FreezePayloads(tb.T(), [][]byte{buf.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Entries() != viaPayload.Entries() || direct.Entries() != tb.Entries() {
+		t.Fatalf("entries: direct %d, payload %d, table %d",
+			direct.Entries(), viaPayload.Entries(), tb.Entries())
+	}
+	for tr := 0; tr < tb.T(); tr++ {
+		if direct.Words(tr) != viaPayload.Words(tr) {
+			t.Fatalf("trial %d words %d != %d", tr, direct.Words(tr), viaPayload.Words(tr))
+		}
+		for w := kmer.Word(0); w < 320; w++ {
+			if !reflect.DeepEqual(direct.Lookup(tr, w), viaPayload.Lookup(tr, w)) {
+				t.Fatalf("trial %d word %d postings differ", tr, w)
+			}
+		}
+	}
+}
+
+// TestFrozenEncodeDecodeRoundTrip pins the JEMIDX03 table section:
+// encode a frozen table, decode it, and compare every lookup.
+func TestFrozenEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, nSubjects := range []int{0, 1, 25} {
+		ft := randomTable(t, rng, 3, nSubjects).Freeze()
+		var buf bytes.Buffer
+		if err := ft.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrozenTable(&buf)
+		if err != nil {
+			t.Fatalf("nSubjects=%d: %v", nSubjects, err)
+		}
+		if got.Entries() != ft.Entries() || got.T() != ft.T() {
+			t.Fatalf("nSubjects=%d: entries/T %d/%d != %d/%d",
+				nSubjects, got.Entries(), got.T(), ft.Entries(), ft.T())
+		}
+		for tr := 0; tr < ft.T(); tr++ {
+			for w := kmer.Word(0); w < 320; w++ {
+				if !reflect.DeepEqual(got.Lookup(tr, w), ft.Lookup(tr, w)) {
+					t.Fatalf("trial %d word %d postings differ after round trip", tr, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeFrozenTableRejectsCorrupt checks the decoder's structural
+// validation: unsorted words and non-monotone offsets must fail, not
+// produce a table that breaks binary search.
+func TestDecodeFrozenTableRejectsCorrupt(t *testing.T) {
+	ft := NewTable(1)
+	ft.InsertPositional(1, [][]kmer.Word{{5, 9}}, [][]int32{{10, 20}})
+	var buf bytes.Buffer
+	if err := ft.Freeze().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Layout: u32 T, u32 nwords, u32 npostings, 2×u64 words, 2×u32
+	// offsets, postings. Swap the two words to break sortedness.
+	corrupt := append([]byte(nil), good...)
+	copy(corrupt[12:20], good[20:28])
+	copy(corrupt[20:28], good[12:20])
+	if _, err := DecodeFrozenTable(bytes.NewReader(corrupt)); err == nil {
+		t.Error("unsorted words should fail")
+	}
+	// Decrease the final offset below the posting count.
+	corrupt = append([]byte(nil), good...)
+	corrupt[32] = 1 // offsets[2] (was 2): now ends short of npostings
+	if _, err := DecodeFrozenTable(bytes.NewReader(corrupt)); err == nil {
+		t.Error("offset/posting-count mismatch should fail")
+	}
+	// Truncate.
+	if _, err := DecodeFrozenTable(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+// TestQuerySketchDegenerateHashFamily regresses the sentinel bug in
+// querySketchTuples: with a constant hash family every candidate ties
+// on the hash, and the former ⟨max,max⟩ sentinel seed left idx at -1
+// (panicking on tuples[best.idx]) whenever a candidate also tied the
+// sentinel word. Seeding from the first tuple keeps the index valid
+// and breaks ties toward the smallest word.
+func TestQuerySketchDegenerateHashFamily(t *testing.T) {
+	sk, err := NewSketcher(Params{K: 8, W: 4, T: 2, L: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=0 makes h(x) = B for every x: all candidates tie on the hash.
+	p := primes61[0]
+	sk.hf = &HashFamily{A: []uint64{0, 0}, B: []uint64{7, 7}, P: []uint64{p, p}}
+	rng := rand.New(rand.NewSource(9))
+	seg := randDNA(rng, 150)
+	words, pos := sk.QuerySketchPositional(seg)
+	if words == nil {
+		t.Fatal("segment produced no sketch")
+	}
+	for tr := range words {
+		// The tie-break must select the minimum word among the
+		// segment's minimizers, and pos must point at a real tuple.
+		if pos[tr] < 0 || int(pos[tr]) >= len(seg) {
+			t.Fatalf("trial %d: position %d out of segment range", tr, pos[tr])
+		}
+		if tr > 0 && words[tr] != words[0] {
+			t.Fatalf("constant family must pick the same word per trial: %d vs %d", words[tr], words[0])
+		}
+	}
+}

@@ -116,12 +116,18 @@ type Mapper struct {
 // NewMapper indexes contigs with the JEM sketch. The contig slice is
 // retained for ID lookup; sequences themselves are not kept beyond
 // sketching (they alias the caller's records).
+//
+// The finished index is sealed: the sketch table is frozen into its
+// cache-friendly sorted-array form and every query is served from it
+// (the same layout the distributed gather step produces). A facade
+// mapper therefore never gains contigs after construction.
 func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
 	cm, err := core.NewMapper(opts.params())
 	if err != nil {
 		return nil, err
 	}
 	cm.AddSubjectsParallel(contigs, opts.Workers)
+	cm.Seal()
 	return &Mapper{opts: opts, core: cm, contigs: contigs}, nil
 }
 
@@ -176,6 +182,9 @@ func LoadMapper(r io.Reader, contigs []Record) (*Mapper, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serve from the frozen form regardless of what the index carried
+	// (legacy JEMIDX02 and mutable-table indexes freeze here).
+	cm.Seal()
 	p := cm.Sketcher().Params()
 	opts := Options{
 		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,

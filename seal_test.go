@@ -1,0 +1,60 @@
+package jem_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// TestSealedFacadeMatchesUnsealedCoreTSV is the end-to-end guarantee
+// behind making the frozen table the default serving path: a facade
+// mapper (always sealed) and a plain unsealed core mapper over the
+// same synthetic contigs must emit byte-identical TSV for the same
+// reads.
+func TestSealedFacadeMatchesUnsealedCoreTSV(t *testing.T) {
+	ds := buildSmallDataset(t)
+	opts := jem.DefaultOptions()
+
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealedTSV bytes.Buffer
+	if err := jem.WriteTSV(&sealedTSV, mapper.MapReads(ds.Reads)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the pre-sealing serving path — a mutable hash-table
+	// core mapper — rendered with the same row format.
+	p := sketch.Params{K: opts.K, W: opts.W, T: opts.Trials, L: opts.SegmentLen, Seed: opts.Seed}
+	cm, err := core.NewMapper(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.AddSubjects(ds.Contigs)
+	if cm.Sealed() {
+		t.Fatal("reference mapper must stay unsealed")
+	}
+	var refTSV bytes.Buffer
+	fmt.Fprintln(&refTSV, "read_id\tend\tcontig_id\tshared_trials")
+	for _, r := range cm.MapReads(ds.Reads, opts.SegmentLen, 2) {
+		end := jem.PrefixEnd
+		if r.Kind == core.Suffix {
+			end = jem.SuffixEnd
+		}
+		contig, trials := "*", "0"
+		if r.Mapped() {
+			contig = cm.Subject(r.Subject).Name
+			trials = fmt.Sprintf("%d", r.Count)
+		}
+		fmt.Fprintf(&refTSV, "%s\t%s\t%s\t%s\n", ds.Reads[r.ReadIndex].ID, end, contig, trials)
+	}
+
+	if !bytes.Equal(sealedTSV.Bytes(), refTSV.Bytes()) {
+		t.Error("sealed facade TSV differs from unsealed core TSV")
+	}
+}

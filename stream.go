@@ -3,101 +3,211 @@ package jem
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/seq"
 )
 
-// StreamStats summarizes a MapStream run.
-type StreamStats struct {
-	Reads    int
+// Stats is a snapshot of the per-phase counters of one MapStream run:
+// how much came in, how much work the sketch-table lookups did, and
+// where the wall time went. Phases overlap (the stream is pipelined),
+// so the wall times measure work inside each phase, not elapsed
+// stream time.
+type Stats struct {
+	// Reads is the number of records pulled from the input stream.
+	Reads int
+	// Segments is the number of end segments mapped (≤ 2 per read).
 	Segments int
-	Mapped   int
+	// Mapped counts segments that hit a contig.
+	Mapped int
+	// PostingsScanned is the total number of sketch-table postings
+	// examined across all lookups — the dominant unit of query work.
+	PostingsScanned int64
+	// ReadWall is time spent parsing FASTA/FASTQ records.
+	ReadWall time.Duration
+	// MapWall is aggregate worker time spent sketching and mapping.
+	MapWall time.Duration
+	// WriteWall is time spent formatting and writing TSV rows.
+	WriteWall time.Duration
+}
+
+// StreamStats is the pre-pipelining name of Stats, kept as an alias.
+type StreamStats = Stats
+
+// streamBatch is the number of reads handed to a worker at once:
+// large enough to amortize channel traffic, small enough that the
+// in-order writer never buffers much.
+const streamBatch = 64
+
+type streamWork struct {
+	seq  int // batch sequence number (write order)
+	base int // global read index of recs[0]
+	recs []Record
+}
+
+type streamResult struct {
+	seq      int
+	mappings []Mapping
 }
 
 // MapStream maps long reads from a FASTA/FASTQ stream without loading
-// the whole file: reads are pulled in batches, mapped in parallel, and
-// written as TSV in input order. It is the memory-bounded counterpart
-// of MapReads for production-sized read sets (the contig index still
-// lives in memory, as in the paper).
-func (m *Mapper) MapStream(r io.Reader, w io.Writer) (StreamStats, error) {
-	const batchSize = 256
-	var stats StreamStats
+// the whole file. The stream is pipelined: a reader goroutine batches
+// records, a worker pool maps batches concurrently with persistent
+// per-worker sessions, and the calling goroutine writes TSV rows in
+// input order as batches complete. It is the memory-bounded
+// counterpart of MapReads for production-sized read sets (the contig
+// index still lives in memory, as in the paper).
+//
+// A mid-stream read error does not discard work: every record read
+// before the error is still mapped and written, and counted in the
+// returned Stats, before the error is propagated.
+func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
+	var stats Stats
 	if _, err := fmt.Fprintln(w, "read_id\tend\tcontig_id\tshared_trials"); err != nil {
 		return stats, err
 	}
-	sr := seq.NewReader(r)
-	var batch []Record
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
+	workers := parallel.Workers(m.opts.Workers)
+	work := make(chan streamWork, workers)
+	results := make(chan streamResult, workers)
+
+	// Reader: pull records and hand fixed-size batches to the workers.
+	// On a mid-stream error the partial batch is still flushed so
+	// already-read records reach the writer before the error returns.
+	var (
+		readErr   error
+		readCount int
+		readWall  time.Duration
+	)
+	go func() {
+		defer close(work)
+		sr := seq.NewReader(r)
+		seqno := 0
+		batch := make([]Record, 0, streamBatch)
+		for {
+			t0 := time.Now()
+			rec, err := sr.Read()
+			readWall += time.Since(t0)
+			if err != nil {
+				if err != io.EOF {
+					readErr = err
+				}
+				break
+			}
+			readCount++
+			batch = append(batch, rec)
+			if len(batch) == streamBatch {
+				work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
+				seqno++
+				batch = make([]Record, 0, streamBatch)
+			}
 		}
-		mappings := m.mapBatch(batch)
-		for _, mp := range mappings {
-			stats.Segments++
-			if mp.Mapped {
-				stats.Mapped++
-			}
-			contig, trials := "*", "0"
-			if mp.Mapped {
-				contig = mp.ContigID
-				trials = fmt.Sprintf("%d", mp.SharedTrials)
-			}
-			if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", mp.ReadID, mp.End, contig, trials); err != nil {
-				return err
-			}
+		if len(batch) > 0 {
+			work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
 		}
-		batch = batch[:0]
-		return nil
+	}()
+
+	// Workers: persistent sessions, one per goroutine, reused across
+	// every batch the worker processes (sessions carry the lazy-update
+	// counter arrays, so reuse is what makes per-query cost O(hits)).
+	var (
+		mapWall  atomic.Int64
+		postings atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := m.core.NewSession()
+			defer func() { postings.Add(sess.PostingsScanned()) }()
+			for item := range work {
+				t0 := time.Now()
+				out := make([]Mapping, 0, 2*len(item.recs))
+				for j := range item.recs {
+					out = m.appendSegmentMappings(out, sess, item.base+j, item.recs[j])
+				}
+				mapWall.Add(int64(time.Since(t0)))
+				results <- streamResult{seq: item.seq, mappings: out}
+			}
+		}()
 	}
-	for {
-		rec, err := sr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return stats, err
-		}
-		stats.Reads++
-		batch = append(batch, rec)
-		if len(batch) >= batchSize {
-			if err := flush(); err != nil {
-				return stats, err
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Writer (this goroutine): reassemble input order and emit rows.
+	// The results channel is always drained fully, even after a write
+	// error, so the pipeline goroutines never leak.
+	var (
+		writeErr  error
+		writeWall time.Duration
+	)
+	pending := make(map[int][]Mapping)
+	next := 0
+	for res := range results {
+		pending[res.seq] = res.mappings
+		for {
+			ms, ok := pending[next]
+			if !ok {
+				break
 			}
+			delete(pending, next)
+			next++
+			if writeErr != nil {
+				continue
+			}
+			t0 := time.Now()
+			for _, mp := range ms {
+				stats.Segments++
+				if mp.Mapped {
+					stats.Mapped++
+				}
+				contig, trials := "*", "0"
+				if mp.Mapped {
+					contig = mp.ContigID
+					trials = fmt.Sprintf("%d", mp.SharedTrials)
+				}
+				if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", mp.ReadID, mp.End, contig, trials); err != nil {
+					writeErr = err
+					break
+				}
+			}
+			writeWall += time.Since(t0)
 		}
 	}
-	return stats, flush()
+
+	stats.Reads = readCount
+	stats.PostingsScanned = postings.Load()
+	stats.ReadWall = readWall
+	stats.MapWall = time.Duration(mapWall.Load())
+	stats.WriteWall = writeWall
+	if writeErr != nil {
+		return stats, writeErr
+	}
+	return stats, readErr
 }
 
-// mapBatch maps one batch of reads with per-worker sessions (sessions
-// are cheap relative to a 256-read batch, so per-batch construction is
-// fine).
-func (m *Mapper) mapBatch(batch []Record) []Mapping {
-	out := make([][]Mapping, len(batch))
-	parallel.ForEachWorker(len(batch), m.opts.Workers,
-		func() *core.Session { return m.core.NewSession() },
-		func(sess *core.Session, i int) {
-			segs, kinds := core.EndSegments(batch[i].Seq, m.opts.SegmentLen)
-			ms := make([]Mapping, len(segs))
-			for si, seg := range segs {
-				mp := Mapping{ReadIndex: i, ReadID: batch[i].ID, End: PrefixEnd}
-				if kinds[si] == core.Suffix {
-					mp.End = SuffixEnd
-				}
-				if hit, ok := sess.MapSegment(seg); ok {
-					mp.Mapped = true
-					mp.Contig = int(hit.Subject)
-					mp.ContigID = m.core.Subject(hit.Subject).Name
-					mp.SharedTrials = int(hit.Count)
-				}
-				ms[si] = mp
-			}
-			out[i] = ms
-		})
-	flat := make([]Mapping, 0, 2*len(batch))
-	for _, ms := range out {
-		flat = append(flat, ms...)
+// appendSegmentMappings maps both end segments of one read and
+// appends their Mappings.
+func (m *Mapper) appendSegmentMappings(out []Mapping, sess *core.Session, readIndex int, rec Record) []Mapping {
+	segs, kinds := core.EndSegments(rec.Seq, m.opts.SegmentLen)
+	for si, seg := range segs {
+		mp := Mapping{ReadIndex: readIndex, ReadID: rec.ID, End: PrefixEnd}
+		if kinds[si] == core.Suffix {
+			mp.End = SuffixEnd
+		}
+		if hit, ok := sess.MapSegment(seg); ok {
+			mp.Mapped = true
+			mp.Contig = int(hit.Subject)
+			mp.ContigID = m.core.Subject(hit.Subject).Name
+			mp.SharedTrials = int(hit.Count)
+		}
+		out = append(out, mp)
 	}
-	return flat
+	return out
 }

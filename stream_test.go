@@ -2,7 +2,10 @@ package jem_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro"
@@ -48,6 +51,67 @@ func TestMapStreamMatchesMapReads(t *testing.T) {
 	}
 	if stats.Mapped != mappedWant {
 		t.Errorf("stats.Mapped = %d want %d", stats.Mapped, mappedWant)
+	}
+	if stats.PostingsScanned <= 0 {
+		t.Errorf("stats.PostingsScanned = %d, want > 0", stats.PostingsScanned)
+	}
+}
+
+// errAfterReader yields its payload, then a non-EOF error — a
+// mid-stream failure (truncated download, dropped NFS mount) after N
+// complete records.
+type errAfterReader struct {
+	payload io.Reader
+	err     error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	n, err := r.payload.Read(p)
+	if err == io.EOF {
+		return n, r.err
+	}
+	return n, err
+}
+
+// TestMapStreamFlushesOnReaderError pins the mid-stream error
+// contract: every record read before the failure is still mapped,
+// written, and counted; only then is the error returned.
+func TestMapStreamFlushesOnReaderError(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("stream died mid-flight")
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(&errAfterReader{payload: &reads, err: boom}, &out)
+	if err == nil {
+		t.Fatal("reader error was swallowed")
+	}
+	if !errors.Is(err, boom) && !strings.Contains(err.Error(), boom.Error()) {
+		t.Fatalf("got error %v, want the reader's", err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d (records before the error)", stats.Reads, len(ds.Reads))
+	}
+	if stats.Segments != 2*len(ds.Reads) {
+		t.Errorf("stats.Segments = %d, want %d", stats.Segments, 2*len(ds.Reads))
+	}
+	// Every pre-error record must have produced its TSV rows.
+	lines := strings.Count(out.String(), "\n")
+	if lines != 1+2*len(ds.Reads) {
+		t.Errorf("wrote %d lines, want header + %d rows", lines, 2*len(ds.Reads))
+	}
+	parsed, err := jem.ReadTSV(&out, ds.Reads, ds.Contigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mapper.MapReads(ds.Reads); !reflect.DeepEqual(parsed, want) {
+		t.Error("pre-error mappings differ from in-memory mappings")
 	}
 }
 
