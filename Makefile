@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz repro repro-quick clean
+.PHONY: all build vet test test-short bench bench-smoke metrics-demo fuzz repro repro-quick clean
 
 all: build vet test
 
@@ -21,6 +21,30 @@ test-short:
 # Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark — a compile-and-run smoke test, not
+# a measurement (CI runs this to keep the benches from bit-rotting).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# End-to-end observability demo: synthesize a tiny dataset, run the
+# streaming mapper with a live metrics server, and scrape /metrics and
+# /statusz while it serves. See docs/OBSERVABILITY.md.
+METRICS_ADDR ?= 127.0.0.1:9921
+metrics-demo:
+	rm -rf /tmp/jem-metrics-demo && mkdir -p /tmp/jem-metrics-demo
+	$(GO) run ./cmd/jem-simulate -name demo -len 300000 -hifi-cov 5 -short-cov 25 -out /tmp/jem-metrics-demo
+	$(GO) run ./cmd/jem-assemble -o /tmp/jem-metrics-demo/contigs.fasta /tmp/jem-metrics-demo/demo.illumina.fastq
+	$(GO) run ./cmd/jem-mapper -stream -metrics-addr $(METRICS_ADDR) -metrics-linger 3s \
+		-o /tmp/jem-metrics-demo/mapping.tsv \
+		/tmp/jem-metrics-demo/contigs.fasta /tmp/jem-metrics-demo/demo.hifi.fastq & \
+	pid=$$!; \
+	sleep 2; \
+	echo "--- /metrics (excerpt) ---"; \
+	curl -sf http://$(METRICS_ADDR)/metrics | grep -E '^jem_' | head -20; \
+	echo "--- /statusz ---"; \
+	curl -sf http://$(METRICS_ADDR)/statusz; \
+	wait $$pid
 
 # Short fuzz sessions over the fuzz targets.
 FUZZTIME ?= 30s

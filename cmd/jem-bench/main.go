@@ -26,14 +26,17 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 0.01, "genome length scale vs the paper")
-		trials = flag.Int("t", 30, "sketch trials T")
-		seed   = flag.Int64("seed", 1, "hash family seed")
-		csvDir = flag.String("csv", "", "also write raw data as CSV files into this directory")
+		scale       = flag.Float64("scale", 0.01, "genome length scale vs the paper")
+		trials      = flag.Int("t", 30, "sketch trials T")
+		seed        = flag.Int64("seed", 1, "hash family seed")
+		csvDir      = flag.String("csv", "", "also write raw data as CSV files into this directory")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve /metrics, /statusz, /debug/vars and /debug/pprof while benchmarks run (empty = off)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|all}\n")
@@ -47,6 +50,21 @@ func main() {
 	opts := jem.DefaultOptions()
 	opts.Trials = *trials
 	opts.Seed = *seed
+
+	if *metricsAddr != "" {
+		// Mapper instruments from every exhibit accumulate in one
+		// registry; /debug/pprof makes long bench runs profilable
+		// without restarting them under -cpuprofile.
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics at %s/metrics (also /statusz, /debug/vars, /debug/pprof)\n", srv.URL())
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -8,6 +8,12 @@
 // Flags mirror the paper's parameters: -k 16 -w 100 -t 30 -l 1000.
 // Pass -p N to run the simulated distributed-memory algorithm on N
 // ranks and report per-step simulated times on stderr.
+//
+// Pass -metrics-addr host:port to serve live observability while the
+// run is in flight: /metrics (Prometheus text), /statusz (human
+// table + phase spans), /debug/vars (expvar) and /debug/pprof/*.
+// -metrics-linger keeps the server up after the run so a scraper can
+// collect the final state. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -22,24 +28,29 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		k       = flag.Int("k", 16, "k-mer size")
-		w       = flag.Int("w", 100, "minimizer window size (in k-mers)")
-		t       = flag.Int("t", 30, "number of sketch trials T")
-		l       = flag.Int("l", 1000, "end segment / interval length (bp)")
-		seed    = flag.Int64("seed", 1, "hash family seed")
-		workers = flag.Int("workers", 0, "goroutines (0 = all cores)")
-		ranks   = flag.Int("p", 0, "simulated MPI ranks (0 = shared-memory run)")
-		outPath = flag.String("o", "", "output TSV path (default stdout)")
-		paf     = flag.Bool("paf", false, "write PAF with positional estimates instead of TSV")
-		sam     = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
-		saveIdx = flag.String("save-index", "", "write the sketch index here after building")
-		loadIdx = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
-		stream  = flag.Bool("stream", false, "map reads as a stream (bounded memory) and report per-phase stats")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
+		k           = flag.Int("k", 16, "k-mer size")
+		w           = flag.Int("w", 100, "minimizer window size (in k-mers)")
+		t           = flag.Int("t", 30, "number of sketch trials T")
+		l           = flag.Int("l", 1000, "end segment / interval length (bp)")
+		seed        = flag.Int64("seed", 1, "hash family seed")
+		workers     = flag.Int("workers", 0, "goroutines (0 = all cores)")
+		ranks       = flag.Int("p", 0, "simulated MPI ranks (0 = shared-memory run)")
+		outPath     = flag.String("o", "", "output TSV path (default stdout)")
+		paf         = flag.Bool("paf", false, "write PAF with positional estimates instead of TSV")
+		sam         = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
+		saveIdx     = flag.String("save-index", "", "write the sketch index here after building")
+		loadIdx     = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
+		stream      = flag.Bool("stream", false, "map reads as a stream (bounded memory) and report per-phase stats")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile here")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve /metrics, /statusz, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
+		metricsLinger = flag.Duration("metrics-linger", 0,
+			"keep the metrics server up this long after the run finishes (lets a scraper collect the final state)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jem-mapper [flags] contigs.fasta reads.fastq\n")
@@ -55,6 +66,7 @@ func main() {
 		contigPath: flag.Arg(0), readPath: flag.Arg(1),
 		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
 		saveIndex: *saveIdx, loadIndex: *loadIdx, stream: *stream, cpuProfile: *cpuProf,
+		metricsAddr: *metricsAddr, metricsLinger: *metricsLinger,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
@@ -72,11 +84,32 @@ type runConfig struct {
 	saveIndex, loadIndex string
 	stream               bool
 	cpuProfile           string
+	metricsAddr          string
+	metricsLinger        time.Duration
 }
 
 func run(cfg runConfig) error {
 	if err := cfg.opts.Validate(); err != nil {
 		return err
+	}
+	// One registry for the whole run: the mapper's instruments, phase
+	// spans and (with -p) per-rank spans all land here, and the final
+	// summary is printed from it. -metrics-addr serves it live.
+	reg := obs.NewRegistry()
+	cfg.opts.Metrics = reg
+	if cfg.metricsAddr != "" {
+		srv, err := obs.Serve(cfg.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics at %s/metrics (also /statusz, /debug/vars, /debug/pprof)\n", srv.URL())
+		defer func() {
+			if cfg.metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "metrics server lingering %v\n", cfg.metricsLinger)
+				time.Sleep(cfg.metricsLinger)
+			}
+			srv.Close()
+		}()
 	}
 	if cfg.cpuProfile != "" {
 		f, err := os.Create(cfg.cpuProfile)
@@ -129,6 +162,7 @@ func run(cfg runConfig) error {
 		for _, st := range dout.Steps {
 			fmt.Fprintf(os.Stderr, "  %-22s %v\n", st.Name, st.Duration.Round(time.Microsecond))
 		}
+		fmt.Fprint(os.Stderr, dout.PhaseTrace)
 		return jem.WriteTSV(out, dout.Mappings)
 	}
 
@@ -138,7 +172,7 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		mapper, err = jem.LoadMapper(f, contigs)
+		mapper, err = jem.LoadMapperObserved(f, contigs, reg)
 		f.Close()
 		if err != nil {
 			return err
@@ -180,14 +214,24 @@ func run(cfg runConfig) error {
 	}
 	if cfg.paf {
 		pms := mapper.MapReadsPositional(reads)
-		fmt.Fprintf(os.Stderr, "mapped %d segments in %v\n",
-			len(pms), time.Since(mapStart).Round(time.Millisecond))
+		printMapSummary(os.Stderr, reg, time.Since(mapStart))
 		return mapper.WritePAF(out, pms, reads)
 	}
 	mappings := mapper.MapReads(reads)
-	fmt.Fprintf(os.Stderr, "mapped %d segments in %v\n",
-		len(mappings), time.Since(mapStart).Round(time.Millisecond))
+	printMapSummary(os.Stderr, reg, time.Since(mapStart))
 	return jem.WriteTSV(out, mappings)
+}
+
+// printMapSummary renders the run epilogue from the registry — the
+// same counters /metrics serves — so the printed summary and the
+// scraped one cannot disagree. Shared by the TSV and PAF paths.
+func printMapSummary(w io.Writer, reg *obs.Registry, elapsed time.Duration) {
+	snap := reg.Snapshot()
+	fmt.Fprintf(w, "mapped %d segments (%d hit) in %v, %d postings scanned\n",
+		int64(snap["jem_core_segments_total"]),
+		int64(snap["jem_core_segments_mapped_total"]),
+		elapsed.Round(time.Millisecond),
+		int64(snap["jem_core_postings_scanned_total"]))
 }
 
 // mapStreaming runs the pipelined streaming path over the reads file

@@ -2,6 +2,7 @@ package jem
 
 import (
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/align"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/mashmap"
 	"repro/internal/minhash"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/scaffold"
 	"repro/internal/seedchain"
 	"repro/internal/simulate"
@@ -31,6 +33,10 @@ type DistributedOutput struct {
 	// Throughput is query segments per simulated second of the
 	// query-mapping step.
 	Throughput float64
+	// PhaseTrace is the rendered per-rank span tree: one root per
+	// rank with sketch/gather/map children timing real wall clock on
+	// that rank's goroutine (the simulated clock lives in Steps).
+	PhaseTrace string
 }
 
 // StepTime is a named phase duration.
@@ -44,26 +50,41 @@ type StepTime struct {
 // simulated ranks. Results are identical to NewMapper + MapReads with
 // the same options.
 func MapDistributed(contigs, reads []Record, p int, opts Options) (*DistributedOutput, error) {
-	out, err := dist.Run(contigs, reads, dist.Config{
+	cfg := dist.Config{
 		P:           p,
 		Params:      opts.params(),
 		MaxParallel: opts.Workers,
-	})
+	}
+	// When the caller serves a registry (jem-mapper -metrics-addr),
+	// the per-rank spans land in its tracer and show up on /statusz
+	// live while the ranks run.
+	if opts.Metrics != nil {
+		cfg.Tracer = opts.Metrics.Tracer()
+	}
+	out, err := dist.Run(contigs, reads, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m := &Mapper{opts: opts}
 	cm, err := core.NewMapper(opts.params())
 	if err != nil {
 		return nil, err
 	}
 	cm.RegisterSubjects(contigs)
-	m.core = cm
+	// Name-resolution mapper only: it registers subject metadata but
+	// never maps, so it gets a private registry rather than the
+	// caller's (its counters would all stay zero anyway).
+	m := &Mapper{opts: opts, core: cm, reg: obs.NewRegistry()}
+	m.met = newMapperMetrics(m.reg, cm)
+	var trace strings.Builder
+	if err := out.Trace.Render(&trace); err != nil {
+		return nil, err
+	}
 	d := &DistributedOutput{
 		Mappings:     m.convert(out.Results, reads),
 		Total:        out.Timeline.Total(),
 		CommFraction: out.Timeline.CommFraction(),
 		Throughput:   out.Throughput(),
+		PhaseTrace:   trace.String(),
 	}
 	for _, st := range out.Timeline.Steps {
 		d.Steps = append(d.Steps, StepTime{
@@ -303,7 +324,7 @@ func BuildScaffoldsOriented(mappings []PositionalMapping, reads, contigs []Recor
 // output).
 func BuildScaffoldsOrientedFull(mappings []PositionalMapping, reads, contigs []Record, minSupport int) ([]OrientedScaffold, []int) {
 	segLen := 0
-	var obs []scaffold.SegmentObservation
+	var segObs []scaffold.SegmentObservation
 	for _, pm := range mappings {
 		if !pm.Mapped || pm.TargetStart < 0 {
 			continue
@@ -311,7 +332,7 @@ func BuildScaffoldsOrientedFull(mappings []PositionalMapping, reads, contigs []R
 		if n := pm.QueryEnd - pm.QueryStart; n > segLen {
 			segLen = n
 		}
-		obs = append(obs, scaffold.SegmentObservation{
+		segObs = append(segObs, scaffold.SegmentObservation{
 			ReadIndex:    int32(pm.ReadIndex),
 			Prefix:       pm.End == PrefixEnd,
 			Contig:       int32(pm.Contig),
@@ -323,7 +344,7 @@ func BuildScaffoldsOrientedFull(mappings []PositionalMapping, reads, contigs []R
 			SegmentLen:   pm.QueryEnd - pm.QueryStart,
 		})
 	}
-	links := scaffold.AggregateEvidence(scaffold.DeriveEvidence(obs))
+	links := scaffold.AggregateEvidence(scaffold.DeriveEvidence(segObs))
 	sc := scaffold.BuildOriented(links, len(contigs), minSupport)
 	out := make([]OrientedScaffold, 0, len(sc.Chains))
 	for _, chain := range sc.Chains {

@@ -77,6 +77,9 @@ type Mapper struct {
 	frozen   *sketch.FrozenTable
 	subjects []SubjectMeta
 	sealed   bool
+	// met, when non-nil, receives per-query observations from every
+	// session created after EnableMetrics ran.
+	met *Metrics
 	// sessions counts sessions ever issued; once positive, the subject
 	// set must not grow (sessions size their counter arrays to it).
 	sessions atomic.Int32
@@ -245,6 +248,7 @@ func (m *Mapper) MergeTable(tb *sketch.Table) {
 // goroutine.
 type Session struct {
 	m       *Mapper
+	met     *Metrics // instrument set captured at creation (nil = off)
 	count   []int32
 	lastq   []int32
 	qid     int32
@@ -262,6 +266,7 @@ func (m *Mapper) NewSession() *Session {
 	n := len(m.subjects)
 	s := &Session{
 		m:     m,
+		met:   m.met,
 		count: make([]int32, n),
 		lastq: make([]int32, n),
 		qid:   0,
@@ -281,6 +286,17 @@ func (s *Session) PostingsScanned() int64 { return s.scanned }
 // means the segment produced no sketch or no subject was hit in any
 // trial. Ties are broken toward the lower subject id for determinism.
 func (s *Session) MapSegment(segment []byte) (Hit, bool) {
+	if s.met == nil {
+		return s.mapSegment(segment)
+	}
+	t0 := time.Now()
+	before := s.scanned
+	h, ok := s.mapSegment(segment)
+	s.met.observe(time.Since(t0), s.scanned-before, ok)
+	return h, ok
+}
+
+func (s *Session) mapSegment(segment []byte) (Hit, bool) {
 	words := s.m.sk.QuerySketch(segment)
 	if words == nil {
 		return Hit{Subject: -1}, false
@@ -337,6 +353,17 @@ type PositionalHit struct {
 // subject votes with the offset (target anchor − query word position),
 // and the median offset is the estimated start of the mapped region.
 func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
+	if s.met == nil {
+		return s.mapSegmentPositional(segment)
+	}
+	t0 := time.Now()
+	before := s.scanned
+	ph, ok := s.mapSegmentPositional(segment)
+	s.met.observe(time.Since(t0), s.scanned-before, ok)
+	return ph, ok
+}
+
+func (s *Session) mapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	words, qpos := s.m.sk.QuerySketchPositional(segment)
 	if words == nil {
 		return PositionalHit{Hit: Hit{Subject: -1}, TargetStart: -1}, false
@@ -429,6 +456,17 @@ func medianCluster(xs []int32, tol int32) (median int32, votes int) {
 // (ties toward lower subject id) — the paper's proposed top-x
 // extension (§IV-C).
 func (s *Session) MapSegmentTopK(segment []byte, k int) []Hit {
+	if s.met == nil {
+		return s.mapSegmentTopK(segment, k)
+	}
+	t0 := time.Now()
+	before := s.scanned
+	hits := s.mapSegmentTopK(segment, k)
+	s.met.observe(time.Since(t0), s.scanned-before, len(hits) > 0)
+	return hits
+}
+
+func (s *Session) mapSegmentTopK(segment []byte, k int) []Hit {
 	words := s.m.sk.QuerySketch(segment)
 	if words == nil || k <= 0 {
 		return nil

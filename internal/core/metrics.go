@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics bundles the serving instruments a Mapper updates on every
+// session query: how many segments were looked up, how many hit a
+// subject, how much posting-scan work the lookups did, and the
+// per-segment lookup-latency distribution.
+type Metrics struct {
+	// Segments counts end segments queried (MapSegment and variants).
+	Segments *obs.Counter
+	// Hits and Misses split Segments by whether a subject was found.
+	Hits, Misses *obs.Counter
+	// Postings counts sketch-table postings examined — the dominant
+	// unit of query work (§III-C's lazy-counter scan).
+	Postings *obs.Counter
+	// Lookup is the per-segment lookup latency in seconds.
+	Lookup *obs.Histogram
+}
+
+// EnableMetrics registers the mapper's serving instruments on reg and
+// turns on per-query instrumentation for every session created
+// afterwards. Call it before issuing sessions (the facade does this
+// at construction); sessions capture the instrument set when they are
+// created. Registration is idempotent per registry, so several
+// mappers may share one registry and their counts aggregate.
+func (m *Mapper) EnableMetrics(reg *obs.Registry) *Metrics {
+	met := &Metrics{
+		Segments: reg.Counter("jem_core_segments_total", "end segments queried"),
+		Hits:     reg.Counter("jem_core_segments_mapped_total", "queried segments that hit a contig"),
+		Misses:   reg.Counter("jem_core_segments_unmapped_total", "queried segments with no hit"),
+		Postings: reg.Counter("jem_core_postings_scanned_total", "sketch-table postings examined by lookups"),
+		Lookup:   reg.Histogram("jem_core_lookup_seconds", "per-segment lookup latency", obs.LatencyBuckets()),
+	}
+	m.met = met
+	return met
+}
+
+// Metrics returns the instrument set installed by EnableMetrics, nil
+// when metrics are disabled.
+func (m *Mapper) Metrics() *Metrics { return m.met }
+
+// observe folds one finished segment lookup into the instruments:
+// a handful of atomic ops, cheap next to the lookup itself.
+func (met *Metrics) observe(elapsed time.Duration, postings int64, hit bool) {
+	met.Segments.Inc()
+	if hit {
+		met.Hits.Inc()
+	} else {
+		met.Misses.Inc()
+	}
+	met.Postings.Add(postings)
+	met.Lookup.Observe(elapsed.Seconds())
+}

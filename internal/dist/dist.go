@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/sketch"
 )
@@ -36,6 +37,12 @@ type Config struct {
 	// MaxParallel bounds physical concurrency during simulation (≤0 =
 	// GOMAXPROCS).
 	MaxParallel int
+	// Tracer, when non-nil, receives one root span per rank
+	// ("rank00", "rank01", …) with child spans named after the
+	// paper's phase breakdown: sketch (S2), gather (S3 serialize),
+	// map (S4). Spans record real wall time on this rank's goroutine,
+	// complementing the Timeline's simulated clock.
+	Tracer *obs.Tracer
 }
 
 // Output bundles the mapping and its simulated timeline.
@@ -47,6 +54,9 @@ type Output struct {
 	QuerySegments int
 	// TableBytes is the allgathered sketch payload size.
 	TableBytes int64
+	// Trace is the tracer the run reported its per-rank phase spans
+	// to (Config.Tracer if set, otherwise a run-private tracer).
+	Trace *obs.Tracer
 }
 
 // Throughput returns query segments per second of simulated S4 time.
@@ -71,6 +81,24 @@ func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
 	}
 	sim := mpi.New(cfg.P, cfg.Model, cfg.MaxParallel)
 
+	// One root span per rank; each simulated step adds a child named
+	// after the paper's phase breakdown (sketch, gather, map). These
+	// record real wall time per rank goroutine — the skew a live
+	// /statusz render shows is the load imbalance Fig. 6 discusses.
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer()
+	}
+	ranks := make([]*obs.Span, cfg.P)
+	for r := 0; r < cfg.P; r++ {
+		ranks[r] = tracer.Start(fmt.Sprintf("rank%02d", r))
+	}
+	defer func() {
+		for _, sp := range ranks {
+			sp.End()
+		}
+	}()
+
 	mapper, err := core.NewMapper(cfg.Params)
 	if err != nil {
 		return nil, err
@@ -89,12 +117,14 @@ func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
 	// S2: sketch subjects into per-rank local tables.
 	locals := make([]*sketch.Table, cfg.P)
 	sim.Step("S2 sketch subjects", func(rank int) {
-		tbl := sketch.NewTable(cfg.Params.T)
-		lo, hi := subjParts[rank][0], subjParts[rank][1]
-		for i := lo; i < hi; i++ {
-			tbl.Insert(int32(i), mapper.Sketcher().SubjectSketch(contigs[i].Seq))
-		}
-		locals[rank] = tbl
+		ranks[rank].Time("sketch", func() {
+			tbl := sketch.NewTable(cfg.Params.T)
+			lo, hi := subjParts[rank][0], subjParts[rank][1]
+			for i := lo; i < hi; i++ {
+				tbl.Insert(int32(i), mapper.Sketcher().SubjectSketch(contigs[i].Seq))
+			}
+			locals[rank] = tbl
+		})
 	})
 
 	// S3: gather. Serialize per rank (real work), charge the modeled
@@ -102,11 +132,13 @@ func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
 	// per-rank merge every process performs).
 	encoded := make([][]byte, cfg.P)
 	sim.Step("S3 serialize sketch", func(rank int) {
-		var buf bytes.Buffer
-		if err := locals[rank].Encode(&buf); err != nil {
-			panic(err) // bytes.Buffer writes cannot fail
-		}
-		encoded[rank] = buf.Bytes()
+		ranks[rank].Time("gather", func() {
+			var buf bytes.Buffer
+			if err := locals[rank].Encode(&buf); err != nil {
+				panic(err) // bytes.Buffer writes cannot fail
+			}
+			encoded[rank] = buf.Bytes()
+		})
 	})
 	var total int64
 	for _, b := range encoded {
@@ -134,23 +166,25 @@ func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
 	perRank := make([][]core.Result, cfg.P)
 	segCounts := make([]int, cfg.P)
 	sim.Step("S4 map queries", func(rank int) {
-		sess := mapper.NewSession()
-		lo, hi := readParts[rank][0], readParts[rank][1]
-		var out []core.Result
-		for i := lo; i < hi; i++ {
-			segs, kinds := core.EndSegments(reads[i].Seq, cfg.Params.L)
-			for s, seg := range segs {
-				hit, ok := sess.MapSegment(seg)
-				r := core.Result{ReadIndex: int32(i), Kind: kinds[s], Subject: -1}
-				if ok {
-					r.Subject = hit.Subject
-					r.Count = hit.Count
+		ranks[rank].Time("map", func() {
+			sess := mapper.NewSession()
+			lo, hi := readParts[rank][0], readParts[rank][1]
+			var out []core.Result
+			for i := lo; i < hi; i++ {
+				segs, kinds := core.EndSegments(reads[i].Seq, cfg.Params.L)
+				for s, seg := range segs {
+					hit, ok := sess.MapSegment(seg)
+					r := core.Result{ReadIndex: int32(i), Kind: kinds[s], Subject: -1}
+					if ok {
+						r.Subject = hit.Subject
+						r.Count = hit.Count
+					}
+					out = append(out, r)
+					segCounts[rank]++
 				}
-				out = append(out, r)
-				segCounts[rank]++
 			}
-		}
-		perRank[rank] = out
+			perRank[rank] = out
+		})
 	})
 
 	var results []core.Result
@@ -174,6 +208,7 @@ func Run(contigs, reads []seq.Record, cfg Config) (*Output, error) {
 		Timeline:      sim.Timeline(),
 		QuerySegments: segments,
 		TableBytes:    total,
+		Trace:         tracer,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/sketch"
 )
@@ -171,5 +172,56 @@ func TestMorePRanksThanWork(t *testing.T) {
 	}
 	if len(out.Results) != 2 {
 		t.Errorf("got %d results", len(out.Results))
+	}
+}
+
+// TestPerRankPhaseSpans asserts that a run reports one root span per
+// rank with child spans matching the paper's phase breakdown —
+// sketch (S2), gather (S3 serialize), map (S4) — whether the caller
+// supplies a tracer or not.
+func TestPerRankPhaseSpans(t *testing.T) {
+	contigs, reads := world(t)
+	tr := obs.NewTracer()
+	out, err := Run(contigs, reads, Config{P: 3, Params: smallParams(), Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != tr {
+		t.Error("Output.Trace should be the supplied tracer")
+	}
+	roots := tr.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("got %d root spans, want one per rank", len(roots))
+	}
+	for r, root := range roots {
+		if want := fmt.Sprintf("rank%02d", r); root.Name() != want {
+			t.Errorf("root %d named %q, want %q", r, root.Name(), want)
+		}
+		if !root.Ended() {
+			t.Errorf("%s not ended", root.Name())
+		}
+		var names []string
+		for _, c := range root.Children() {
+			names = append(names, c.Name())
+			if !c.Ended() {
+				t.Errorf("%s/%s not ended", root.Name(), c.Name())
+			}
+			if c.Duration() < 0 {
+				t.Errorf("%s/%s negative duration", root.Name(), c.Name())
+			}
+		}
+		if want := []string{"sketch", "gather", "map"}; !reflect.DeepEqual(names, want) {
+			t.Errorf("%s children = %v, want %v", root.Name(), names, want)
+		}
+	}
+
+	// Without a caller-supplied tracer the run still traces into a
+	// private one exposed on the Output.
+	out2, err := Run(contigs, reads, Config{P: 2, Params: smallParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Trace == nil || len(out2.Trace.Roots()) != 2 {
+		t.Error("run without Config.Tracer should still expose per-rank spans")
 	}
 }

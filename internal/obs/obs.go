@@ -1,0 +1,66 @@
+// Package obs is the repository's observability layer: a small,
+// dependency-free (standard library only) metrics and tracing toolkit
+// shared by the mapper core, the streaming pipeline, the distributed
+// driver and the CLIs.
+//
+// It provides three things:
+//
+//   - Instruments — atomic Counter and Gauge, and a fixed-boundary
+//     latency Histogram with percentile estimation (the bucket math
+//     lives in internal/stats).
+//   - A Registry that names instruments, renders them as a human
+//     table or Prometheus-style text exposition, and owns a Tracer
+//     for nested phase spans (index build → freeze → query;
+//     reader → map → write; per-rank sketch → gather → map).
+//   - Serve, which exposes a registry on an HTTP side goroutine:
+//     /metrics (text exposition), /debug/vars (expvar) and
+//     /debug/pprof/* — so a long run can be watched and profiled
+//     live (jem-mapper -metrics-addr, jem-bench -metrics-addr).
+//
+// All instruments are safe for concurrent use; updates are single
+// atomic operations so they can sit on query hot paths.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be ≥ 0 to keep the counter monotonic; this is
+// not enforced, matching Prometheus client conventions' cheap path).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down (also used for
+// cumulative wall-clock seconds, where float keeps the Prometheus
+// seconds convention).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (lock-free CAS loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+)
+
+// Server is a live observability endpoint over one Registry.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-global expvar name: the first served
+// registry is published under "jem_metrics" (expvar.Publish panics on
+// duplicates, and expvar names cannot be unpublished).
+var expvarOnce sync.Once
+
+// Serve exposes reg over HTTP on addr (e.g. ":9090" or
+// "127.0.0.1:0") from a side goroutine and returns immediately.
+//
+//	/metrics        Prometheus text exposition
+//	/statusz        human-readable table + span tree
+//	/debug/vars     expvar (memstats, cmdline, jem_metrics snapshot)
+//	/debug/pprof/*  CPU/heap/goroutine/... profiles
+//
+// It also registers scrape-time runtime gauges (goroutines, heap
+// bytes, GC cycles) on reg. Close shuts the listener down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	registerRuntimeGauges(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("jem_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteTable(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately (in-flight scrapes are cut).
+func (s *Server) Close() error { return s.srv.Close() }
+
+// registerRuntimeGauges adds scrape-time process gauges so even an
+// otherwise-empty registry (jem-bench) exposes something useful.
+func registerRuntimeGauges(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "number of live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "bytes of allocated heap objects",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("go_gc_cycles_total", "completed GC cycles",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

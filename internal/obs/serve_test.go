@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeEndpoints stands the side server up on an ephemeral port
+// and checks every endpoint answers: the Prometheus exposition, the
+// human statusz, expvar, and the pprof index/cmdline handlers.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jem_test_total", "a counter").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "jem_test_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "go_goroutines") {
+		t.Errorf("/metrics missing runtime gauges:\n%s", body)
+	}
+	if body := get("/statusz"); !strings.Contains(body, "jem_test_total") {
+		t.Errorf("/statusz missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing memstats:\n%s", body[:min(len(body), 200)])
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%s", body[:min(len(body), 200)])
+	}
+	get("/debug/pprof/cmdline") // must simply answer 200
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records trees of named phase spans. It is safe for
+// concurrent use: the distributed driver starts one root per rank
+// from parallel goroutines, and each goroutine then nests children
+// under its own root.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start begins a root span. End it with Span.End.
+func (t *Tracer) Start(name string) *Span {
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns a snapshot of the root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed phase. Spans are safe for concurrent use: a
+// goroutine may End a span while another renders the tree, and
+// children of one parent may be created from multiple goroutines.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	d        time.Duration
+	ended    bool
+	children []*Span
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// Child begins a nested span under s.
+func (s *Span) Child(name string) *Span {
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span and returns its duration. End is idempotent;
+// the first call wins.
+func (s *Span) End() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.d = time.Since(s.start)
+		s.ended = true
+	}
+	return s.d
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Duration returns the span's length: its final duration once ended,
+// or the elapsed time so far while still open.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.d
+	}
+	return time.Since(s.start)
+}
+
+// Children returns a snapshot of the nested spans in start order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Time runs fn inside a child span of s — the convenience form for
+// phase-timing a function call.
+func (s *Span) Time(name string, fn func()) time.Duration {
+	c := s.Child(name)
+	fn()
+	return c.End()
+}
+
+// Render writes the span forest as an indented tree, one span per
+// line with its duration, e.g.
+//
+//	rank00            12.1ms
+//	  sketch           8.0ms
+//	  gather           1.2ms
+//	  map              2.9ms
+func (t *Tracer) Render(w io.Writer) error {
+	for _, root := range t.Roots() {
+		if err := renderSpan(w, root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderSpan(w io.Writer, s *Span, depth int) error {
+	if _, err := fmt.Fprintf(w, "%*s%-*s %v\n", 2*depth, "", 24-2*depth, s.name,
+		s.Duration().Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := renderSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

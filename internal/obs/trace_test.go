@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("index.build")
+	sk := root.Child("sketch")
+	time.Sleep(time.Millisecond)
+	sk.End()
+	root.Time("freeze", func() { time.Sleep(time.Millisecond) })
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "index.build" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "sketch" || kids[1].Name() != "freeze" {
+		t.Fatalf("children = %v", kids)
+	}
+	for _, s := range kids {
+		if !s.Ended() || s.Duration() <= 0 {
+			t.Errorf("span %s: ended=%v duration=%v", s.Name(), s.Ended(), s.Duration())
+		}
+	}
+	if roots[0].Duration() < kids[0].Duration() {
+		t.Error("root shorter than its child")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x")
+	d1 := s.End()
+	time.Sleep(2 * time.Millisecond)
+	if d2 := s.End(); d2 != d1 {
+		t.Errorf("second End changed duration: %v != %v", d2, d1)
+	}
+}
+
+// TestTracerConcurrentRanks models the distributed driver: one root
+// per rank started from parallel goroutines, each nesting its own
+// phase children, while another goroutine renders the live tree.
+func TestTracerConcurrentRanks(t *testing.T) {
+	tr := NewTracer()
+	stop := make(chan struct{})
+	var render sync.WaitGroup
+	render.Add(1)
+	go func() {
+		defer render.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				_ = tr.Render(&buf)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			root := tr.Start("rank")
+			for _, phase := range []string{"sketch", "gather", "map"} {
+				root.Child(phase).End()
+			}
+			root.End()
+		}(rank)
+	}
+	wg.Wait()
+	close(stop)
+	render.Wait()
+	if len(tr.Roots()) != 8 {
+		t.Errorf("roots = %d, want 8", len(tr.Roots()))
+	}
+}
+
+func TestRenderIndentation(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	root.Child("inner").End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "root") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  inner") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}

@@ -116,6 +116,74 @@ func (h *Histogram) Render(barWidth int) string {
 	return b.String()
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the histogram's
+// observations by linear interpolation inside the uniform bin holding
+// the target rank. Returns Lo when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	uppers := make([]float64, len(h.Counts))
+	for i := range uppers {
+		uppers[i] = h.Lo + float64(i+1)*w
+	}
+	// The uniform-bin histogram clamps out-of-range values into its end
+	// bins, so there is no overflow bucket: pass a zero one.
+	if h.total == 0 {
+		return h.Lo
+	}
+	return QuantileFromBuckets(uppers, append(append([]int64(nil), h.Counts...), 0), q)
+}
+
+// QuantileFromBuckets estimates the q-quantile (0 ≤ q ≤ 1) of
+// bucketed observations: uppers holds strictly increasing finite
+// upper bounds, and counts holds len(uppers)+1 per-bucket counts, the
+// last being the overflow bucket for values above the largest bound.
+// The estimate interpolates linearly inside the bucket containing the
+// target rank (a bucket's lower edge is the previous upper bound, or
+// 0 for the first — the latency-histogram convention); ranks landing
+// in the overflow bucket clamp to the largest finite bound. Returns 0
+// when there are no observations.
+func QuantileFromBuckets(uppers []float64, counts []int64, q float64) float64 {
+	if len(uppers) == 0 || len(counts) != len(uppers)+1 {
+		panic(fmt.Sprintf("stats: quantile needs len(counts)=len(uppers)+1, got %d and %d", len(counts), len(uppers)))
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i == len(uppers) {
+				return uppers[len(uppers)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = uppers[i-1]
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (uppers[i]-lo)*frac
+		}
+	}
+	return uppers[len(uppers)-1]
+}
+
 // Table renders fixed-width text tables.
 type Table struct {
 	header []string

@@ -120,3 +120,45 @@ func TestMeanStdDevEdge(t *testing.T) {
 		t.Error("edge cases should be zero")
 	}
 }
+
+func TestQuantileFromBuckets(t *testing.T) {
+	uppers := []float64{1, 2, 3, 4}
+	// 10 observations per bucket, none overflowing.
+	counts := []int64{10, 10, 10, 10, 0}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 2}, {0.75, 3}, {1, 4}, {0.125, 0.5},
+	}
+	for _, c := range cases {
+		if got := QuantileFromBuckets(uppers, counts, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow ranks clamp to the largest finite bound.
+	if got := QuantileFromBuckets(uppers, []int64{0, 0, 0, 0, 5}, 0.5); got != 4 {
+		t.Errorf("overflow quantile = %v, want 4", got)
+	}
+	// Empty histograms report zero.
+	if got := QuantileFromBuckets(uppers, make([]int64, 5), 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	// Out-of-range q clamps.
+	if got := QuantileFromBuckets(uppers, counts, 7); got != 4 {
+		t.Errorf("q>1 quantile = %v, want 4", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i) / 10) // uniform on [0,100)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got, want := h.Quantile(q), 100*q; math.Abs(got-want) > 10 {
+			t.Errorf("Quantile(%v) = %v, want within a bin of %v", q, got, want)
+		}
+	}
+	empty := NewHistogram(5, 10, 2)
+	if got := empty.Quantile(0.5); got != 5 {
+		t.Errorf("empty histogram quantile = %v, want Lo", got)
+	}
+}

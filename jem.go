@@ -22,11 +22,12 @@
 package jem
 
 import (
-	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/minimizer"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/sketch"
 )
@@ -64,6 +65,13 @@ type Options struct {
 	// lexicographic choice to a minimap2-style hash ordering (an
 	// ablation knob; see DESIGN.md §5).
 	HashOrdering bool
+	// Metrics, when non-nil, is the observability registry the mapper
+	// records into (counters, latency histograms, phase spans — see
+	// docs/OBSERVABILITY.md). When nil the mapper creates a private
+	// registry; either way Mapper.Metrics exposes it. Supplying one
+	// lets a caller serve the registry (obs.Serve) before the mapper
+	// exists and share it across mappers.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's software configuration:
@@ -111,6 +119,8 @@ type Mapper struct {
 	opts    Options
 	core    *core.Mapper
 	contigs []Record
+	reg     *obs.Registry
+	met     *mapperMetrics
 }
 
 // NewMapper indexes contigs with the JEM sketch. The contig slice is
@@ -126,9 +136,18 @@ func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	cm.AddSubjectsParallel(contigs, opts.Workers)
-	cm.Seal()
-	return &Mapper{opts: opts, core: cm, contigs: contigs}, nil
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newMapperMetrics(reg, cm)
+	// Phase spans: index build = sketch the subjects, then freeze the
+	// table into its serving form.
+	sp := reg.Tracer().Start("index.build")
+	sp.Time("sketch", func() { cm.AddSubjectsParallel(contigs, opts.Workers) })
+	sp.Time("freeze", func() { cm.Seal() })
+	sp.End()
+	return &Mapper{opts: opts, core: cm, contigs: contigs, reg: reg, met: met}, nil
 }
 
 // Options returns the mapper's configuration.
@@ -170,7 +189,11 @@ func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
 // SaveIndex serializes the mapper's sketch index (parameters, subject
 // metadata, sketch table) so it can be reloaded with LoadMapper
 // instead of re-sketching the contigs.
-func (m *Mapper) SaveIndex(w io.Writer) error { return m.core.WriteIndex(w) }
+func (m *Mapper) SaveIndex(w io.Writer) error {
+	sp := m.reg.Tracer().Start("index.write")
+	defer sp.End()
+	return m.core.WriteIndex(w)
+}
 
 // LoadMapper reconstructs a mapper from an index written by SaveIndex.
 // The loaded mapper maps identically to the original; contig sequences
@@ -178,19 +201,36 @@ func (m *Mapper) SaveIndex(w io.Writer) error { return m.core.WriteIndex(w) }
 // (PercentIdentity against retained contigs) need the contig records
 // passed here (nil is allowed and disables only those extras).
 func LoadMapper(r io.Reader, contigs []Record) (*Mapper, error) {
+	return LoadMapperObserved(r, contigs, nil)
+}
+
+// LoadMapperObserved is LoadMapper recording into the given registry
+// (nil creates a private one, making it identical to LoadMapper): the
+// load is span-timed as index.load → read → freeze.
+func LoadMapperObserved(r io.Reader, contigs []Record, reg *obs.Registry) (*Mapper, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	sp := reg.Tracer().Start("index.load")
+	rd := sp.Child("read")
 	cm, err := core.ReadIndex(r)
+	rd.End()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	// Serve from the frozen form regardless of what the index carried
 	// (legacy JEMIDX02 and mutable-table indexes freeze here).
-	cm.Seal()
+	sp.Time("freeze", func() { cm.Seal() })
+	sp.End()
+	met := newMapperMetrics(reg, cm)
 	p := cm.Sketcher().Params()
 	opts := Options{
 		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,
 		HashOrdering: p.Order == minimizer.OrderHash,
+		Metrics:      reg,
 	}
-	return &Mapper{opts: opts, core: cm, contigs: contigs}, nil
+	return &Mapper{opts: opts, core: cm, contigs: contigs, reg: reg, met: met}, nil
 }
 
 // MapSegment maps a single arbitrary segment (at most SegmentLen bases
@@ -267,19 +307,37 @@ func (m *Mapper) TopHits(segment []byte, k int) []Mapping {
 	return out
 }
 
+// tsvHeader is the first line of every TSV mapping table.
+const tsvHeader = "read_id\tend\tcontig_id\tshared_trials\n"
+
+// appendTSVRow renders one mapping as a TSV row into b — the
+// allocation-free formatter shared by WriteTSV and the MapStream
+// writer hot loop (fmt.Fprintf there cost ~2 allocations per row).
+func appendTSVRow(b []byte, m *Mapping) []byte {
+	b = append(b, m.ReadID...)
+	b = append(b, '\t')
+	b = append(b, string(m.End)...)
+	b = append(b, '\t')
+	if m.Mapped {
+		b = append(b, m.ContigID...)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, int64(m.SharedTrials), 10)
+	} else {
+		b = append(b, '*', '\t', '0')
+	}
+	return append(b, '\n')
+}
+
 // WriteTSV writes mappings as a tab-separated table with a header:
 // read_id, end, contig_id, shared_trials ("*" marks unmapped rows).
 func WriteTSV(w io.Writer, mappings []Mapping) error {
-	if _, err := fmt.Fprintln(w, "read_id\tend\tcontig_id\tshared_trials"); err != nil {
+	if _, err := io.WriteString(w, tsvHeader); err != nil {
 		return err
 	}
-	for _, m := range mappings {
-		contig, trials := "*", "0"
-		if m.Mapped {
-			contig = m.ContigID
-			trials = fmt.Sprintf("%d", m.SharedTrials)
-		}
-		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", m.ReadID, m.End, contig, trials); err != nil {
+	buf := make([]byte, 0, 128)
+	for i := range mappings {
+		buf = appendTSVRow(buf[:0], &mappings[i])
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

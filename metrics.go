@@ -1,0 +1,88 @@
+package jem
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// mapperMetrics bundles every instrument a facade Mapper owns: the
+// core serving counters (installed via core.EnableMetrics) plus the
+// streaming-pipeline counters and phase-wall gauges MapStream drives.
+// The registry these live in is the single source of truth — the
+// Stats returned by MapStream is derived from registry movement, not
+// from parallel bookkeeping.
+type mapperMetrics struct {
+	core *core.Metrics
+
+	reads    *obs.Counter // records pulled from the input stream
+	segments *obs.Counter // end segments drained by the stream writer
+	mapped   *obs.Counter // drained segments that hit a contig
+
+	readWall  *obs.Gauge // cumulative seconds parsing input records
+	mapWall   *obs.Gauge // cumulative worker seconds sketching+mapping
+	writeWall *obs.Gauge // cumulative seconds formatting+writing TSV
+}
+
+func newMapperMetrics(reg *obs.Registry, cm *core.Mapper) *mapperMetrics {
+	return &mapperMetrics{
+		core:     cm.EnableMetrics(reg),
+		reads:    reg.Counter("jem_stream_reads_total", "records pulled from the input stream"),
+		segments: reg.Counter("jem_stream_segments_total", "end segments drained by the stream writer"),
+		mapped:   reg.Counter("jem_stream_segments_mapped_total", "drained segments that hit a contig"),
+		readWall: reg.Gauge("jem_stream_read_wall_seconds",
+			"cumulative wall time parsing FASTA/FASTQ records"),
+		mapWall: reg.Gauge("jem_stream_map_wall_seconds",
+			"cumulative worker wall time sketching and mapping"),
+		writeWall: reg.Gauge("jem_stream_write_wall_seconds",
+			"cumulative wall time formatting and writing TSV rows"),
+	}
+}
+
+// streamSnapshot is a point-in-time reading of the instruments one
+// MapStream run moves. Two snapshots bracket a run; their difference
+// is that run's Stats.
+type streamSnapshot struct {
+	reads, segments, mapped, postings int64
+	readWall, mapWall, writeWall      float64
+}
+
+func (mm *mapperMetrics) snapshot() streamSnapshot {
+	return streamSnapshot{
+		reads:     mm.reads.Value(),
+		segments:  mm.segments.Value(),
+		mapped:    mm.mapped.Value(),
+		postings:  mm.core.Postings.Value(),
+		readWall:  mm.readWall.Value(),
+		mapWall:   mm.mapWall.Value(),
+		writeWall: mm.writeWall.Value(),
+	}
+}
+
+// statsSince derives a Stats from the registry movement since base.
+// Counters are exact; wall times round-trip through float seconds
+// (sub-nanosecond error over any realistic run length).
+func (mm *mapperMetrics) statsSince(base streamSnapshot) Stats {
+	now := mm.snapshot()
+	return Stats{
+		Reads:           int(now.reads - base.reads),
+		Segments:        int(now.segments - base.segments),
+		Mapped:          int(now.mapped - base.mapped),
+		PostingsScanned: now.postings - base.postings,
+		ReadWall:        secondsToDuration(now.readWall - base.readWall),
+		MapWall:         secondsToDuration(now.mapWall - base.mapWall),
+		WriteWall:       secondsToDuration(now.writeWall - base.writeWall),
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Metrics returns the mapper's observability registry: the core
+// serving counters and lookup-latency histogram, the streaming
+// pipeline counters, and the phase tracer (index build/freeze,
+// save/load spans). Serve it live with obs.Serve (jem-mapper
+// -metrics-addr) or render it with WritePrometheus/WriteTable.
+func (m *Mapper) Metrics() *obs.Registry { return m.reg }

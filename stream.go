@@ -1,10 +1,8 @@
 package jem
 
 import (
-	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -17,6 +15,12 @@ import (
 // where the wall time went. Phases overlap (the stream is pipelined),
 // so the wall times measure work inside each phase, not elapsed
 // stream time.
+//
+// Stats is a read-out of the mapper's obs.Registry (see Metrics): the
+// registry instruments are snapshotted when MapStream starts and the
+// difference at the end is returned, so the registry — which can be
+// watched live via jem-mapper -metrics-addr — and the returned Stats
+// can never disagree.
 type Stats struct {
 	// Reads is the number of records pulled from the input stream.
 	Reads int
@@ -64,11 +68,21 @@ type streamResult struct {
 //
 // A mid-stream read error does not discard work: every record read
 // before the error is still mapped and written, and counted in the
-// returned Stats, before the error is propagated.
+// returned Stats, before the error is propagated. A write error stops
+// output but not accounting: the pipeline still drains and counts
+// every batch that was mapped, so Stats reflects the work actually
+// done.
+//
+// Counters and wall times are recorded into the mapper's obs.Registry
+// (see Metrics); the returned Stats is the registry movement between
+// start and end of this call. Concurrent traffic on the same mapper
+// (another MapStream, MapReads) would fold into the same instruments,
+// so per-run Stats are only meaningful when runs don't overlap.
 func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
-	var stats Stats
-	if _, err := fmt.Fprintln(w, "read_id\tend\tcontig_id\tshared_trials"); err != nil {
-		return stats, err
+	met := m.met
+	base := met.snapshot()
+	if _, err := io.WriteString(w, tsvHeader); err != nil {
+		return met.statsSince(base), err
 	}
 	workers := parallel.Workers(m.opts.Workers)
 	work := make(chan streamWork, workers)
@@ -77,13 +91,10 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 	// Reader: pull records and hand fixed-size batches to the workers.
 	// On a mid-stream error the partial batch is still flushed so
 	// already-read records reach the writer before the error returns.
-	var (
-		readErr   error
-		readCount int
-		readWall  time.Duration
-	)
+	var readErr error
 	go func() {
 		defer close(work)
+		var readWall time.Duration
 		sr := seq.NewReader(r)
 		seqno := 0
 		batch := make([]Record, 0, streamBatch)
@@ -97,7 +108,7 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 				}
 				break
 			}
-			readCount++
+			met.reads.Inc()
 			batch = append(batch, rec)
 			if len(batch) == streamBatch {
 				work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
@@ -108,29 +119,31 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 		if len(batch) > 0 {
 			work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
 		}
+		// Recorded before close(work), which happens-before the workers
+		// exit and therefore before the writer's final snapshot.
+		met.readWall.Add(readWall.Seconds())
 	}()
 
 	// Workers: persistent sessions, one per goroutine, reused across
 	// every batch the worker processes (sessions carry the lazy-update
 	// counter arrays, so reuse is what makes per-query cost O(hits)).
-	var (
-		mapWall  atomic.Int64
-		postings atomic.Int64
-		wg       sync.WaitGroup
-	)
+	// Posting-scan counts flow into the registry per segment via the
+	// session's core instrumentation.
+	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
+			var mapWall time.Duration
 			defer wg.Done()
+			defer func() { met.mapWall.Add(mapWall.Seconds()) }() // runs before wg.Done
 			sess := m.core.NewSession()
-			defer func() { postings.Add(sess.PostingsScanned()) }()
 			for item := range work {
 				t0 := time.Now()
 				out := make([]Mapping, 0, 2*len(item.recs))
 				for j := range item.recs {
 					out = m.appendSegmentMappings(out, sess, item.base+j, item.recs[j])
 				}
-				mapWall.Add(int64(time.Since(t0)))
+				mapWall += time.Since(t0)
 				results <- streamResult{seq: item.seq, mappings: out}
 			}
 		}()
@@ -143,9 +156,17 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 	// Writer (this goroutine): reassemble input order and emit rows.
 	// The results channel is always drained fully, even after a write
 	// error, so the pipeline goroutines never leak.
+	//
+	// pending is bounded by the pipeline depth, not the input size: a
+	// missing batch `next` can only be overtaken by batches that are
+	// already in flight — at most cap(work) queued + one per worker +
+	// cap(results) queued, ~3×workers batches — before the reader
+	// blocks on the work channel. A stalled batch therefore pauses the
+	// stream; it cannot balloon memory.
 	var (
 		writeErr  error
 		writeWall time.Duration
+		buf       = make([]byte, 0, 128)
 	)
 	pending := make(map[int][]Mapping)
 	next := 0
@@ -158,21 +179,25 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 			}
 			delete(pending, next)
 			next++
+			// Count every drained batch — the mapping work happened
+			// whether or not the rows can still be written — then skip
+			// only the write once a write error is sticky.
+			segs, hits := int64(0), int64(0)
+			for i := range ms {
+				segs++
+				if ms[i].Mapped {
+					hits++
+				}
+			}
+			met.segments.Add(segs)
+			met.mapped.Add(hits)
 			if writeErr != nil {
 				continue
 			}
 			t0 := time.Now()
-			for _, mp := range ms {
-				stats.Segments++
-				if mp.Mapped {
-					stats.Mapped++
-				}
-				contig, trials := "*", "0"
-				if mp.Mapped {
-					contig = mp.ContigID
-					trials = fmt.Sprintf("%d", mp.SharedTrials)
-				}
-				if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", mp.ReadID, mp.End, contig, trials); err != nil {
+			for i := range ms {
+				buf = appendTSVRow(buf[:0], &ms[i])
+				if _, err := w.Write(buf); err != nil {
 					writeErr = err
 					break
 				}
@@ -180,12 +205,9 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 			writeWall += time.Since(t0)
 		}
 	}
+	met.writeWall.Add(writeWall.Seconds())
 
-	stats.Reads = readCount
-	stats.PostingsScanned = postings.Load()
-	stats.ReadWall = readWall
-	stats.MapWall = time.Duration(mapWall.Load())
-	stats.WriteWall = writeWall
+	stats := met.statsSince(base)
 	if writeErr != nil {
 		return stats, writeErr
 	}

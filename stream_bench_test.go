@@ -1,0 +1,66 @@
+// White-box benchmark for the MapStream TSV hot loop: the reused
+// []byte + strconv.AppendInt row formatter versus the fmt.Fprintf
+// call it replaced. Run with
+//
+//	go test -bench=MapStreamWrite -benchmem .
+//
+// to see the per-row allocation delta.
+package jem
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+func benchRows() []Mapping {
+	rows := make([]Mapping, 0, 1024)
+	for i := 0; i < 512; i++ {
+		rows = append(rows, Mapping{
+			ReadIndex: i, ReadID: fmt.Sprintf("read%05d", i), End: PrefixEnd,
+			Mapped: true, Contig: i % 37, ContigID: fmt.Sprintf("contig%03d", i%37),
+			SharedTrials: 20 + i%10,
+		})
+		rows = append(rows, Mapping{
+			ReadIndex: i, ReadID: fmt.Sprintf("read%05d", i), End: SuffixEnd,
+		})
+	}
+	return rows
+}
+
+func BenchmarkMapStreamWrite(b *testing.B) {
+	rows := benchRows()
+
+	b.Run("append", func(b *testing.B) {
+		buf := make([]byte, 0, 128)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range rows {
+				buf = appendTSVRow(buf[:0], &rows[j])
+				if _, err := io.Discard.Write(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// The pre-optimization formatting path, kept for comparison.
+	b.Run("fprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range rows {
+				m := &rows[j]
+				var err error
+				if m.Mapped {
+					_, err = fmt.Fprintf(io.Discard, "%s\t%s\t%s\t%d\n",
+						m.ReadID, m.End, m.ContigID, m.SharedTrials)
+				} else {
+					_, err = fmt.Fprintf(io.Discard, "%s\t%s\t*\t0\n", m.ReadID, m.End)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -115,6 +115,59 @@ func TestMapStreamFlushesOnReaderError(t *testing.T) {
 	}
 }
 
+// failAfterWriter accepts n writes, then fails every later one — a
+// disk-full / closed-pipe stand-in.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestMapStreamCountsAfterWriteError pins the accounting contract on
+// the write-error path: output stops, but every batch the workers
+// mapped is still drained AND counted, so Stats reflects the mapping
+// work actually done. (The pre-fix code skipped counting for batches
+// drained after the error, undercounting Segments/Mapped.)
+func TestMapStreamCountsAfterWriteError(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	// Allow the header and the first row, then fail.
+	stats, err := mapper.MapStream(&reads, &failAfterWriter{n: 2, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the write error", err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d", stats.Reads, len(ds.Reads))
+	}
+	if want := 2 * len(ds.Reads); stats.Segments != want {
+		t.Errorf("stats.Segments = %d, want %d (write errors must not drop accounting)", stats.Segments, want)
+	}
+	mappedWant := 0
+	for _, m := range mapper.MapReads(ds.Reads) {
+		if m.Mapped {
+			mappedWant++
+		}
+	}
+	if stats.Mapped != mappedWant {
+		t.Errorf("stats.Mapped = %d, want %d", stats.Mapped, mappedWant)
+	}
+}
+
 func TestMapStreamEmptyInput(t *testing.T) {
 	ds := buildSmallDataset(t)
 	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
