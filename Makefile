@@ -2,15 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-smoke metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-fix test test-short bench bench-smoke metrics-demo fuzz repro repro-quick clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Custom static analysis (cmd/jem-vet, internal/lint): hot-path
+# allocation discipline, atomic-access consistency, lock hygiene,
+# serialization error sinks, map-order determinism. The whole repo
+# must pass clean; see docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/jem-vet ./...
+
+# lint-fix auto-fixes what tooling can (gofmt -s), then prints the
+# remaining jem-vet diagnostics verbosely with clickable file:line:
+# prefixes (suppressed findings included).
+lint-fix:
+	gofmt -s -w .
+	$(GO) run ./cmd/jem-vet -v ./...
 
 test:
 	$(GO) test ./...

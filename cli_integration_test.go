@@ -148,3 +148,70 @@ func TestCLIPipeline(t *testing.T) {
 func fmtSscanf(line string, p, r, f1 *float64) (int, error) {
 	return fmt.Sscanf(line, "precision=%f recall=%f F1=%f", p, r, f1)
 }
+
+// TestMapperOutputWriteErrorFails is the regression test for the
+// output-path error handling jem-vet's errsink analyzer surfaced:
+// jem-mapper used `defer f.Close()` on the -o file, so a failing
+// output device could leave a truncated mapping table behind a zero
+// exit status. Mapping to /dev/full must fail loudly, in both the
+// batch and streaming writers.
+func TestMapperOutputWriteErrorFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the jem-mapper binary")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	dir := t.TempDir()
+	mapper := filepath.Join(dir, "jem-mapper")
+	if out, err := exec.Command("go", "build", "-o", mapper, "./cmd/jem-mapper").CombinedOutput(); err != nil {
+		t.Fatalf("building jem-mapper: %v\n%s", err, out)
+	}
+
+	// Tiny deterministic dataset: one 12kb contig, reads sliced from
+	// it (longer than the default 1000-base end segments).
+	bases := []byte("ACGT")
+	contig := make([]byte, 12000)
+	state := uint64(42)
+	for i := range contig {
+		state = state*6364136223846793005 + 1442695040888963407
+		contig[i] = bases[state>>62]
+	}
+	var fa strings.Builder
+	fa.WriteString(">contig0\n")
+	fa.Write(contig)
+	fa.WriteString("\n")
+	contigPath := filepath.Join(dir, "contigs.fasta")
+	if err := os.WriteFile(contigPath, []byte(fa.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var reads strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&reads, ">read%d\n%s\n", i, contig[i*1000:i*1000+3000])
+	}
+	readPath := filepath.Join(dir, "reads.fasta")
+	if err := os.WriteFile(readPath, []byte(reads.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range [][]string{
+		{"-o", "/dev/full"},
+		{"-stream", "-o", "/dev/full"},
+	} {
+		args := append(append([]string{}, mode...), contigPath, readPath)
+		out, err := exec.Command(mapper, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("jem-mapper %v: expected failure writing to /dev/full, got success\n%s", mode, out)
+		}
+		// And the same invocation to a real file must succeed.
+		okArgs := append([]string{}, args...)
+		for i, a := range okArgs {
+			if a == "/dev/full" {
+				okArgs[i] = filepath.Join(dir, "out.tsv")
+			}
+		}
+		if out, err := exec.Command(mapper, okArgs...).CombinedOutput(); err != nil {
+			t.Errorf("jem-mapper %v: %v\n%s", okArgs, err, out)
+		}
+	}
+}

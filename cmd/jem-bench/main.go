@@ -90,7 +90,7 @@ func writeCSVFile(csvDir, name string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to report
 		return err
 	}
 	return f.Close()

@@ -88,7 +88,7 @@ type runConfig struct {
 	metricsLinger        time.Duration
 }
 
-func run(cfg runConfig) error {
+func run(cfg runConfig) (retErr error) {
 	if err := cfg.opts.Validate(); err != nil {
 		return err
 	}
@@ -108,7 +108,7 @@ func run(cfg runConfig) error {
 				fmt.Fprintf(os.Stderr, "metrics server lingering %v\n", cfg.metricsLinger)
 				time.Sleep(cfg.metricsLinger)
 			}
-			srv.Close()
+			_ = srv.Close() // shutdown at exit; nothing to do with the error
 		}()
 	}
 	if cfg.cpuProfile != "" {
@@ -116,7 +116,13 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// StopCPUProfile (deferred later, so it runs first) flushes the
+		// profile; a failed close means a truncated profile on disk.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -148,7 +154,14 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Close errors on the output file are write errors (the last
+		// buffered bytes land at close): a truncated mapping table must
+		// fail the run, not exit 0.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 		out = f
 	}
 
@@ -173,7 +186,7 @@ func run(cfg runConfig) error {
 			return err
 		}
 		mapper, err = jem.LoadMapperObserved(f, contigs, reg)
-		f.Close()
+		_ = f.Close() // read-only; decode errors carry the signal
 		if err != nil {
 			return err
 		}
@@ -191,7 +204,7 @@ func run(cfg runConfig) error {
 			return err
 		}
 		if err := mapper.SaveIndex(f); err != nil {
-			f.Close()
+			_ = f.Close() // the SaveIndex error is the one to report
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -99,7 +99,7 @@ func runOriented(contigPath, readPath string, minSupport int, agpOut string) err
 			return err
 		}
 		if err := jem.WriteAGP(f, scaffolds, singletons, contigs, 10); err != nil {
-			f.Close()
+			_ = f.Close() // the WriteAGP error is the one to report
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -124,7 +124,7 @@ func run(contigPath, readPath, tsvPath string, minSupport, gapLen int, fastaOut 
 		return err
 	}
 	mappings, err := jem.ReadTSV(f, reads, contigs)
-	f.Close()
+	_ = f.Close() // read-only; parse errors carry the signal
 	if err != nil {
 		return err
 	}

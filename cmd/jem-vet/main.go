@@ -1,0 +1,119 @@
+// Command jem-vet runs the repository's custom static analyzers
+// (internal/lint) over package patterns:
+//
+//	jem-vet ./...                  # whole repo, all analyzers
+//	jem-vet -run errsink ./paf.go  # one analyzer (patterns are go list patterns)
+//	jem-vet -list                  # what's in the suite
+//
+// Diagnostics print as file:line:col: message (analyzer) — clickable
+// in editors and CI logs. Exit status is 1 when any unsuppressed
+// diagnostic is found. See docs/STATIC_ANALYSIS.md for the analyzer
+// catalogue, the //jem:hotpath annotation and the
+// //jem:nolint(<analyzer>) suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		verbose = flag.Bool("v", false, "also print suppressed diagnostics and per-analyzer totals")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *run != "" {
+		var err error
+		analyzers, err = lint.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := lint.Run(analyzers, pkgs)
+	active := 0
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			if *verbose {
+				fmt.Printf("%s [suppressed]\n", relativize(cwd, d))
+			}
+			continue
+		}
+		active++
+		fmt.Println(relativize(cwd, d))
+	}
+	if n := total(res.Suppressed); n > 0 || *verbose {
+		fmt.Fprintf(os.Stderr, "jem-vet: %d issue(s), %d suppressed by %s%s\n",
+			active, n, "//jem:nolint", suppressionBreakdown(res.Suppressed))
+	}
+	if active > 0 {
+		os.Exit(1)
+	}
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressionBreakdown(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s:%d", name, m[name])
+	}
+	return " (" + strings.Join(parts, " ") + ")"
+}
+
+// relativize shortens absolute diagnostic paths to cwd-relative ones
+// so CI logs and editors get clickable file:line:col prefixes.
+func relativize(cwd string, d lint.Diagnostic) string {
+	s := d.String()
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s (%s)", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return s
+}

@@ -58,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	loaded, err := jem.LoadMapper(f2, ds.Contigs)
-	f2.Close()
+	_ = f2.Close() // read-only; decode errors carry the signal
 	if err != nil {
 		log.Fatal(err)
 	}

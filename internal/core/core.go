@@ -296,6 +296,10 @@ func (s *Session) MapSegment(segment []byte) (Hit, bool) {
 	return h, ok
 }
 
+// mapSegment is the uninstrumented lookup loop: T table probes, then
+// the lazy-counter candidate scan (§III-C).
+//
+//jem:hotpath
 func (s *Session) mapSegment(segment []byte) (Hit, bool) {
 	words := s.m.sk.QuerySketch(segment)
 	if words == nil {
@@ -352,6 +356,8 @@ type PositionalHit struct {
 // subject it landed: each trial whose sketch word hits the winning
 // subject votes with the offset (target anchor − query word position),
 // and the median offset is the estimated start of the mapped region.
+//
+//jem:hotpath
 func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	if s.met == nil {
 		return s.mapSegmentPositional(segment)
@@ -363,6 +369,10 @@ func (s *Session) MapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	return ph, ok
 }
 
+// mapSegmentPositional is the uninstrumented positional lookup loop:
+// the counting pass plus the offset-vote pass over cached postings.
+//
+//jem:hotpath
 func (s *Session) mapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	words, qpos := s.m.sk.QuerySketchPositional(segment)
 	if words == nil {

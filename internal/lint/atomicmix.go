@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces the all-or-nothing rule of sync/atomic: once a
+// struct field is accessed through a sync/atomic function anywhere in
+// the package, every other access to that field must be atomic too.
+// A plain load next to atomic.AddInt64 is a data race the race
+// detector only catches when the interleaving actually happens; this
+// catches it structurally. (Fields of type atomic.Int64 & friends are
+// immune by construction — the mix is only possible with the
+// function-style API over plain integer fields.)
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+type fieldAccess struct {
+	pos  token.Pos
+	expr string // rendered access, for the diagnostic
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: find fields used as &f arguments to sync/atomic calls,
+	// and remember those argument nodes so pass 2 can skip them.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic use
+	atomicArgNodes := make(map[ast.Expr]bool)      // the f in atomic.X(&f, ...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, _, ok := pkgFunc(pass.Info, call)
+			if !ok || path != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fld := fieldObject(pass.Info, un.X); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = un.Pos()
+					}
+					atomicArgNodes[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a mixed-model
+	// access.
+	var mixed []fieldAccess
+	fieldNames := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgNodes[sel] {
+				return true
+			}
+			fld := fieldObject(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[fld]; !isAtomic {
+				return true
+			}
+			mixed = append(mixed, fieldAccess{pos: sel.Pos(), expr: exprString(sel)})
+			fieldNames[fld] = sel.Sel.Name
+			return true
+		})
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].pos < mixed[j].pos })
+	for _, m := range mixed {
+		pass.Report(m.pos,
+			"%s is accessed with sync/atomic elsewhere in this package; plain access mixes memory models (use atomic.Load/Store)",
+			m.expr)
+	}
+}
+
+// fieldObject resolves e to the struct field it selects, or nil.
+// Only fields declared in the package under analysis participate:
+// object identity across export-data boundaries is not stable enough
+// for a cross-package version of this check.
+func fieldObject(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags statements that silently drop the error returned by
+// Write/WriteString/WriteByte/WriteRune/Flush/Close/Sync — the calls
+// that decide whether serialized bytes (TSV/PAF/SAM rows, index
+// files) actually reached their destination. A dropped Flush or Close
+// error is a truncated index that nobody notices until load time.
+//
+// Deliberate exemptions, so the signal stays clean:
+//
+//   - `defer f.Close()` is not flagged on read handles (the read-path
+//     idiom) — but IS flagged when the same function obtained f from
+//     os.Create: on a write handle the deferred Close is where the
+//     final buffered write surfaces, and the defer throws it away.
+//   - bytes.Buffer and strings.Builder methods are infallible by
+//     contract (their error results exist only to satisfy
+//     interfaces).
+//   - bufio.Writer's Write-family errors are sticky and surface at
+//     Flush, so unchecked bw.Write is fine — but its Flush IS flagged.
+//   - An explicit `_ =` assignment is a visible, greppable decision
+//     and is not flagged.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "unchecked error results from Write/Flush/Close/Sync in serialization paths",
+	Run:  runErrSink,
+}
+
+var errSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Flush":       true,
+	"Close":       true,
+	"Sync":        true,
+}
+
+// errSinkWriteFamily are the sticky-error methods exempted on
+// *bufio.Writer (Flush/Close/Sync stay flagged there).
+var errSinkWriteFamily = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func runErrSink(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrSinkFunc(pass, fd.Body)
+		}
+	}
+}
+
+func checkErrSinkFunc(pass *Pass, body *ast.BlockStmt) {
+	writeHandles := collectCreateHandles(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			recv, fn, ok := methodCall(pass.Info, stmt.Call)
+			if !ok || fn.Name() != "Close" {
+				return true
+			}
+			if id, ok := recv.(*ast.Ident); ok && writeHandles[pass.Info.Uses[id]] {
+				pass.Report(stmt.Pos(),
+					"defer %s.Close on a file opened with os.Create discards the final write error; close explicitly and check (or propagate via a named return)",
+					id.Name)
+			}
+			return true
+		case *ast.ExprStmt:
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, fn, ok := methodCall(pass.Info, call)
+			if !ok || !errSinkMethods[fn.Name()] {
+				return true
+			}
+			if !errorReturning(pass.Info, call) {
+				return true // e.g. csv.Writer.Flush returns nothing
+			}
+			if infallibleWriter(pass.Info.TypeOf(recv), fn.Name()) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"error from %s.%s is discarded; a failed %s silently truncates output (check it, or assign to _ to acknowledge)",
+				exprString(recv), fn.Name(), fn.Name())
+		}
+		return true
+	})
+}
+
+// collectCreateHandles finds local variables assigned from os.Create
+// in body — handles that exist to be written to.
+func collectCreateHandles(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	handles := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFunc(pass.Info, call)
+		if !ok || path != "os" || name != "Create" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				handles[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				handles[obj] = true
+			}
+		}
+		return true
+	})
+	return handles
+}
+
+// infallibleWriter reports receiver types whose listed method cannot
+// meaningfully fail.
+func infallibleWriter(t types.Type, method string) bool {
+	if t == nil {
+		return false
+	}
+	if namedTypeIs(t, "bytes", "Buffer") || namedTypeIs(t, "strings", "Builder") {
+		return true
+	}
+	if errSinkWriteFamily[method] && namedTypeIs(t, "bufio", "Writer") {
+		return true // sticky error, surfaced by the (flagged) Flush
+	}
+	return false
+}

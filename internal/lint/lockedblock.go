@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedBlock flags blocking operations performed while a
+// sync.Mutex/RWMutex is held in the same statement list: channel
+// sends/receives, select statements, ranging over a channel,
+// time.Sleep, sync.WaitGroup.Wait, and Read/Write calls through
+// io.Reader/io.Writer interface values (a concrete *bytes.Buffer is
+// memory; an io.Writer might be a socket). Holding a hot mutex across
+// any of these turns every other goroutine's fast path into a wait —
+// the registry/tracer pattern is "copy under lock, emit after
+// unlock", and this analyzer keeps it that way.
+var LockedBlock = &Analyzer{
+	Name: "lockedblock",
+	Doc:  "no channel ops or blocking I/O between mu.Lock() and its Unlock in the same block",
+	Run:  runLockedBlock,
+}
+
+func runLockedBlock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkLockRegions(pass, block.List)
+			return true
+		})
+	}
+}
+
+// checkLockRegions scans one statement list for Lock()/Unlock() pairs
+// and inspects the statements between them. Two shapes are
+// recognized:
+//
+//	mu.Lock(); <region...>; mu.Unlock()   — region ends at the Unlock
+//	mu.Lock(); defer mu.Unlock(); <region to end of list>
+func checkLockRegions(pass *Pass, stmts []ast.Stmt) {
+	for i := 0; i < len(stmts); i++ {
+		recv, isLock := lockStmt(pass.Info, stmts[i], "Lock", "RLock")
+		if !isLock {
+			continue
+		}
+		key := exprString(recv)
+		start := i + 1
+		end := len(stmts)
+		// defer mu.Unlock() directly after the Lock extends the region
+		// to the end of the list.
+		if start < end {
+			if ds, ok := stmts[start].(*ast.DeferStmt); ok {
+				if drecv, isUnlock := unlockCall(pass.Info, ds.Call); isUnlock && exprString(drecv) == key {
+					start++
+				}
+			}
+		}
+		for j := start; j < len(stmts); j++ {
+			if urecv, isUnlock := lockStmt(pass.Info, stmts[j], "Unlock", "RUnlock"); isUnlock && exprString(urecv) == key {
+				end = j
+				break
+			}
+		}
+		for j := start; j < end && j < len(stmts); j++ {
+			reportBlockingOps(pass, stmts[j], key)
+		}
+	}
+}
+
+// lockStmt matches an expression statement calling one of the given
+// sync mutex methods and returns the receiver expression.
+func lockStmt(info *types.Info, s ast.Stmt, names ...string) (ast.Expr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	recv, fn, ok := methodCall(info, call)
+	if !ok || !isSyncLockMethod(fn) {
+		return nil, false
+	}
+	for _, want := range names {
+		if fn.Name() == want {
+			return recv, true
+		}
+	}
+	return nil, false
+}
+
+func unlockCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	recv, fn, ok := methodCall(info, call)
+	if !ok || !isSyncLockMethod(fn) {
+		return nil, false
+	}
+	if fn.Name() == "Unlock" || fn.Name() == "RUnlock" {
+		return recv, true
+	}
+	return nil, false
+}
+
+func isSyncLockMethod(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// reportBlockingOps walks one statement inside a locked region.
+// Nested function literals are skipped: they execute later, not under
+// this lock (an immediately-invoked literal is rare enough to accept
+// the false negative).
+func reportBlockingOps(pass *Pass, stmt ast.Stmt, lockKey string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Report(x.Pos(), "channel send while %s is locked can block every waiter of the lock", lockKey)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Report(x.Pos(), "channel receive while %s is locked can block every waiter of the lock", lockKey)
+			}
+		case *ast.SelectStmt:
+			pass.Report(x.Pos(), "select while %s is locked can block every waiter of the lock", lockKey)
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Report(x.Pos(), "ranging over a channel while %s is locked can block every waiter of the lock", lockKey)
+				}
+			}
+		case *ast.CallExpr:
+			reportBlockingCall(pass, x, lockKey)
+		}
+		return true
+	})
+}
+
+func reportBlockingCall(pass *Pass, call *ast.CallExpr, lockKey string) {
+	if path, name, ok := pkgFunc(pass.Info, call); ok && path == "time" && name == "Sleep" {
+		pass.Report(call.Pos(), "time.Sleep while %s is locked stalls every waiter of the lock", lockKey)
+		return
+	}
+	recv, fn, ok := methodCall(pass.Info, call)
+	if !ok {
+		return
+	}
+	if fn.Name() == "Wait" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && namedTypeIs(pass.Info.TypeOf(recv), "sync", "WaitGroup") {
+		pass.Report(call.Pos(), "WaitGroup.Wait while %s is locked stalls every waiter of the lock", lockKey)
+		return
+	}
+	// Read/Write through an interface value: the concrete type could
+	// be a pipe or socket. Concrete in-memory writers (bytes.Buffer,
+	// strings.Builder) are fine and don't trip this.
+	if fn.Name() == "Read" || fn.Name() == "Write" {
+		if t := pass.Info.TypeOf(recv); t != nil {
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				pass.Report(call.Pos(),
+					"%s.%s through an interface while %s is locked may be blocking I/O; copy under the lock, emit after",
+					exprString(recv), fn.Name(), lockKey)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags ranging over a map when the loop body emits output —
+// a write to an io.Writer, an fmt.Fprint* call, or appending to a
+// []byte. Go randomizes map iteration order on purpose, so such a
+// loop produces nondeterministically-ordered bytes: index files that
+// don't round-trip bit-identically, TSV output that diffs against
+// itself, flaky golden tests. The fix is always the same — collect,
+// sort, then emit (see Registry.sorted for the house pattern) — and a
+// loop that only collects is exactly what this analyzer does NOT
+// flag.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no output may be produced while ranging over a map (iteration order is randomized)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pos, what, found := findEmit(pass, rs.Body); found {
+				pass.Report(pos,
+					"%s inside a range over a map emits bytes in randomized order; collect keys, sort, then emit", what)
+			}
+			return true
+		})
+	}
+}
+
+// findEmit locates the first output-producing operation in body:
+// a Write-family method call, an fmt.Fprint* call, binary.Write, or
+// append to a []byte.
+func findEmit(pass *Pass, body *ast.BlockStmt) (pos token.Pos, what string, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFunc(pass.Info, call); ok {
+			if path == "fmt" && isPrintName(name) && name[0] == 'F' {
+				pos, what, found = call.Pos(), "fmt."+name, true
+				return false
+			}
+			if path == "encoding/binary" && name == "Write" {
+				pos, what, found = call.Pos(), "binary.Write", true
+				return false
+			}
+		}
+		if recv, fn, ok := methodCall(pass.Info, call); ok && errSinkWriteFamily[fn.Name()] {
+			pos, what, found = call.Pos(), exprString(recv)+"."+fn.Name(), true
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if t := pass.Info.TypeOf(call.Args[0]); t != nil && isByteSlice(t) {
+					pos, what, found = call.Pos(), "append to []byte", true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, what, found
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

@@ -1,0 +1,35 @@
+// Package atomicmix is the golden fixture for the atomicmix
+// analyzer: a field touched by sync/atomic anywhere must be touched
+// atomically everywhere in the package.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) atomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// read mixes a plain load with the atomic writes above — the race the
+// analyzer exists to catch.
+func (c *counters) read() int64 {
+	return c.hits // want `c\.hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `c\.hits is accessed with sync/atomic elsewhere`
+}
+
+// total is only ever accessed plainly, so it is clean.
+func (c *counters) bump() int64 {
+	c.total++
+	return c.total
+}

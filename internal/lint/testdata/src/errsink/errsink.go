@@ -1,0 +1,69 @@
+// Package errsink is the golden fixture for the errsink analyzer:
+// dropped errors from Write/Flush/Close/Sync are flagged; infallible
+// writers, sticky bufio writes, defers and explicit `_ =` discards
+// are not.
+package errsink
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"strings"
+)
+
+func bad(f *os.File, w io.Writer, bw *bufio.Writer, b []byte) {
+	f.Close()  // want `error from f\.Close is discarded`
+	w.Write(b) // want `error from w\.Write is discarded`
+	bw.Flush() // want `error from bw\.Flush is discarded`
+	f.Sync()   // want `error from f\.Sync is discarded`
+}
+
+func good(f *os.File, bw *bufio.Writer, buf *bytes.Buffer, sb *strings.Builder, b []byte) error {
+	buf.Write(b)        // bytes.Buffer cannot fail
+	sb.WriteString("x") // strings.Builder cannot fail
+	bw.Write(b)         // sticky error, surfaced by the checked Flush below
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	_ = f.Sync() // explicit discard is a visible decision
+	return f.Close()
+}
+
+// goodDeferClose is the read-path idiom and is deliberately exempt.
+func goodDeferClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// badDeferCreateClose defers Close on a WRITE handle: the final
+// buffered write error is thrown away and the caller sees success.
+func badDeferCreateClose(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close on a file opened with os\.Create`
+	_, err = f.Write(b)
+	return err
+}
+
+// goodCreateClose closes the write handle explicitly, propagating
+// close-time write errors through a named return.
+func goodCreateClose(path string, b []byte) (retErr error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	_, err = f.Write(b)
+	return err
+}

@@ -1,0 +1,49 @@
+// Package hotpathalloc is the golden fixture for the hotpathalloc
+// analyzer: annotated functions must stay free of fmt print calls,
+// run-time string concatenation and closure literals; unannotated
+// functions are never flagged.
+package hotpathalloc
+
+import "fmt"
+
+//jem:hotpath
+func hotBad(names []string) string {
+	s := ""
+	for _, n := range names {
+		s = s + n                         // want `string concatenation in hot path hotBad`
+		fmt.Println(n)                    // want `fmt\.Println in hot path hotBad`
+		f := func() int { return len(n) } // want `closure literal in hot path hotBad`
+		_ = f
+	}
+	s += "!" // want `string \+= in hot path hotBad`
+	return s
+}
+
+// hotClean shows the approved idiom: append into a reused buffer.
+//
+//jem:hotpath
+func hotClean(b []byte, names []string) []byte {
+	for _, n := range names {
+		b = append(b, n...)
+	}
+	return b
+}
+
+// constConcat is constant-folded by the compiler and costs nothing at
+// run time, so it is not flagged even in a hot path.
+//
+//jem:hotpath
+func constConcat() string {
+	const prefix = "jem" + "-"
+	return prefix
+}
+
+// cold has every violation but no annotation: nothing is flagged.
+func cold(names []string) string {
+	s := ""
+	for _, n := range names {
+		s += n
+		fmt.Println(n)
+	}
+	return s
+}

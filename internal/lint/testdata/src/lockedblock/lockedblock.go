@@ -1,0 +1,67 @@
+// Package lockedblock is the golden fixture for the lockedblock
+// analyzer: no channel traffic or blocking I/O while a sync mutex is
+// held in the same statement list.
+package lockedblock
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	ch   chan int
+	vals []int
+}
+
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `channel send while q\.mu is locked`
+	q.mu.Unlock()
+}
+
+func (q *queue) badRecv() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `channel receive while q\.mu is locked`
+}
+
+func (q *queue) badSleepAndWrite(w io.Writer, b []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond)          // want `time\.Sleep while q\.mu is locked`
+	if _, err := w.Write(b); err != nil { // want `w\.Write through an interface while q\.mu is locked`
+		return
+	}
+}
+
+func (q *queue) badWait(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wg.Wait() // want `WaitGroup\.Wait while q\.mu is locked`
+}
+
+// goodSendAfterUnlock is the approved shape: mutate under the lock,
+// talk to channels after releasing it.
+func (q *queue) goodSendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// goodBufferWrite: a concrete in-memory writer is not blocking I/O.
+func (q *queue) goodBufferWrite(buf *bytes.Buffer, b []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	buf.Write(b)
+}
+
+// goodClosure: a literal defined under the lock runs later, not here.
+func (q *queue) goodClosure(v int) func() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return func() { q.ch <- v }
+}

@@ -1,0 +1,50 @@
+// Package maporder is the golden fixture for the maporder analyzer:
+// emitting output while ranging over a map is nondeterministic;
+// collect-sort-emit is the approved pattern.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a range over a map`
+	}
+}
+
+func badAppend(m map[string]int) []byte {
+	var out []byte
+	for k := range m {
+		out = append(out, k...) // want `append to \[\]byte inside a range over a map`
+	}
+	return out
+}
+
+func badWriter(w io.Writer, m map[string]bool) {
+	for k := range m {
+		w.Write([]byte(k)) // want `w\.Write inside a range over a map`
+	}
+}
+
+// good is the house pattern (see Registry.sorted): the map range only
+// collects; bytes are emitted from the sorted slice.
+func good(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// goodSliceRange: ranging a slice is always ordered.
+func goodSliceRange(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}

@@ -350,14 +350,14 @@ func writeFile(path string, write func(io.Writer) error) error {
 	}
 	if err := write(dst); err != nil {
 		if gz != nil {
-			gz.Close()
+			_ = gz.Close() // the write error is the one to report
 		}
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if gz != nil {
 		if err := gz.Close(); err != nil {
-			f.Close()
+			_ = f.Close() // the gzip-flush error is the one to report
 			return err
 		}
 	}

@@ -66,6 +66,8 @@ func NewHashFamily(t int, seed int64) *HashFamily {
 func (hf *HashFamily) T() int { return len(hf.A) }
 
 // Hash evaluates h_t(x) = (A_t·x + B_t) mod P_t.
+//
+//jem:hotpath
 func (hf *HashFamily) Hash(t int, x kmer.Word) uint64 {
 	p := hf.P[t]
 	v := mulmod(hf.A[t], uint64(x), p) + hf.B[t]

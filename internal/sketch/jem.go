@@ -125,6 +125,10 @@ func less(a, b hentry) bool {
 	return a.w < b.w
 }
 
+// sketchTuples is the shared subject-sketch inner loop: per trial, a
+// monotone-deque sliding minimum over the interval windows.
+//
+//jem:hotpath
 func (s *Sketcher) sketchTuples(tuples []minimizer.Tuple) ([][]kmer.Word, [][]int32) {
 	out := make([][]kmer.Word, s.p.T)
 	anchors := make([][]int32, s.p.T)
@@ -242,6 +246,10 @@ func (s *Sketcher) QuerySketchPositional(segment []byte) ([]kmer.Word, []int32) 
 	return s.querySketchTuples(minimizer.Extract(segment, s.mp))
 }
 
+// querySketchTuples is the query-sketch inner loop: per trial, one
+// linear minimum over the segment's minimizers.
+//
+//jem:hotpath
 func (s *Sketcher) querySketchTuples(tuples []minimizer.Tuple) ([]kmer.Word, []int32) {
 	if len(tuples) == 0 {
 		return nil, nil

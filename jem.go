@@ -313,6 +313,8 @@ const tsvHeader = "read_id\tend\tcontig_id\tshared_trials\n"
 // appendTSVRow renders one mapping as a TSV row into b — the
 // allocation-free formatter shared by WriteTSV and the MapStream
 // writer hot loop (fmt.Fprintf there cost ~2 allocations per row).
+//
+//jem:hotpath
 func appendTSVRow(b []byte, m *Mapping) []byte {
 	b = append(b, m.ReadID...)
 	b = append(b, '\t')

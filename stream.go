@@ -153,16 +153,31 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 		close(results)
 	}()
 
-	// Writer (this goroutine): reassemble input order and emit rows.
-	// The results channel is always drained fully, even after a write
-	// error, so the pipeline goroutines never leak.
-	//
-	// pending is bounded by the pipeline depth, not the input size: a
-	// missing batch `next` can only be overtaken by batches that are
-	// already in flight — at most cap(work) queued + one per worker +
-	// cap(results) queued, ~3×workers batches — before the reader
-	// blocks on the work channel. A stalled batch therefore pauses the
-	// stream; it cannot balloon memory.
+	writeErr := m.drainStreamResults(w, results)
+
+	stats := met.statsSince(base)
+	if writeErr != nil {
+		return stats, writeErr
+	}
+	return stats, readErr
+}
+
+// drainStreamResults is MapStream's writer stage (run on the calling
+// goroutine): reassemble input order and emit TSV rows. The results
+// channel is always drained fully, even after a write error, so the
+// pipeline goroutines never leak; the first write error is returned
+// and further writes are skipped while accounting continues.
+//
+// pending is bounded by the pipeline depth, not the input size: a
+// missing batch `next` can only be overtaken by batches that are
+// already in flight — at most cap(work) queued + one per worker +
+// cap(results) queued, ~3×workers batches — before the reader
+// blocks on the work channel. A stalled batch therefore pauses the
+// stream; it cannot balloon memory.
+//
+//jem:hotpath
+func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult) error {
+	met := m.met
 	var (
 		writeErr  error
 		writeWall time.Duration
@@ -206,12 +221,7 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 		}
 	}
 	met.writeWall.Add(writeWall.Seconds())
-
-	stats := met.statsSince(base)
-	if writeErr != nil {
-		return stats, writeErr
-	}
-	return stats, readErr
+	return writeErr
 }
 
 // appendSegmentMappings maps both end segments of one read and
