@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix test test-short bench bench-smoke metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-fix test test-short fault-test bench bench-smoke metrics-demo fuzz repro repro-quick clean
 
 all: build vet lint test
 
@@ -31,6 +31,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Fault-injection and robustness tests under the race detector:
+# cancellation, quarantine, injected I/O errors, worker panics,
+# index corruption, and the SIGINT-mid-stream CLI test. See
+# docs/ROBUSTNESS.md for the failure-path contracts these prove.
+fault-test:
+	$(GO) test -race -run 'TestMapStream|TestMapReads|TestMapper|TestIndex|TestWriteIndex' . ./internal/core/
+	$(GO) test -race ./internal/fault/ ./internal/seq/
 
 # Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
 bench:

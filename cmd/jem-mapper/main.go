@@ -14,17 +14,27 @@
 // table + phase spans), /debug/vars (expvar) and /debug/pprof/*.
 // -metrics-linger keeps the server up after the run so a scraper can
 // collect the final state. See docs/OBSERVABILITY.md.
+//
+// SIGINT/SIGTERM cancel the run: in-flight batches drain, partial
+// output is flushed, the summary printed so far is reported, and the
+// process exits non-zero. -on-bad-record controls what a malformed
+// input record does (fail the run, be skipped, or be skipped AND
+// logged to a quarantine sidecar file). See docs/ROBUSTNESS.md.
 package main
 
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -43,10 +53,16 @@ func main() {
 		outPath     = flag.String("o", "", "output TSV path (default stdout)")
 		paf         = flag.Bool("paf", false, "write PAF with positional estimates instead of TSV")
 		sam         = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
-		saveIdx     = flag.String("save-index", "", "write the sketch index here after building")
+		saveIdx     = flag.String("save-index", "", "write the sketch index here after building (atomic temp+rename)")
 		loadIdx     = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
 		stream      = flag.Bool("stream", false, "map reads as a stream (bounded memory) and report per-phase stats")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile here")
+		onBadRecord = flag.String("on-bad-record", "fail",
+			"what a malformed input record does in -stream mode: fail, skip, or quarantine (skip + log to the sidecar file)")
+		quarantinePath = flag.String("quarantine-file", "",
+			"sidecar path for -on-bad-record=quarantine (default: <output>.quarantine, requires -o)")
+		maxRecordLen = flag.Int("max-record-len", 0,
+			"treat -stream records longer than this many bases as bad records (0 = no limit)")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics, /statusz, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		metricsLinger = flag.Duration("metrics-linger", 0,
@@ -61,15 +77,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	policy, err := jem.ParseBadRecordPolicy(*onBadRecord)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+		os.Exit(2)
+	}
 	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers}
 	cfg := runConfig{
 		contigPath: flag.Arg(0), readPath: flag.Arg(1),
 		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
 		saveIndex: *saveIdx, loadIndex: *loadIdx, stream: *stream, cpuProfile: *cpuProf,
+		onBadRecord: policy, quarantinePath: *quarantinePath, maxRecordLen: *maxRecordLen,
 		metricsAddr: *metricsAddr, metricsLinger: *metricsLinger,
 	}
-	if err := run(cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+	// SIGINT/SIGTERM cancel ctx; the pipeline drains in-flight batches,
+	// flushes partial output and returns context.Canceled. A second
+	// signal kills the process outright (stop() restores the default
+	// handler), so a wedged run can still be terminated.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "jem-mapper: interrupted; partial output flushed\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -84,11 +116,14 @@ type runConfig struct {
 	saveIndex, loadIndex string
 	stream               bool
 	cpuProfile           string
+	onBadRecord          jem.BadRecordPolicy
+	quarantinePath       string
+	maxRecordLen         int
 	metricsAddr          string
 	metricsLinger        time.Duration
 }
 
-func run(cfg runConfig) (retErr error) {
+func run(ctx context.Context, cfg runConfig) (retErr error) {
 	if err := cfg.opts.Validate(); err != nil {
 		return err
 	}
@@ -106,9 +141,20 @@ func run(cfg runConfig) (retErr error) {
 		defer func() {
 			if cfg.metricsLinger > 0 {
 				fmt.Fprintf(os.Stderr, "metrics server lingering %v\n", cfg.metricsLinger)
-				time.Sleep(cfg.metricsLinger)
+				// The linger is interruptible: a signal during it ends the
+				// wait early instead of holding the process hostage.
+				select {
+				case <-time.After(cfg.metricsLinger):
+				case <-ctx.Done():
+				}
 			}
-			_ = srv.Close() // shutdown at exit; nothing to do with the error
+			// Graceful shutdown lets an in-flight scrape finish; fall back
+			// to a hard close if it cannot within the grace period.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				_ = srv.Close() // hard stop; the scrape was cut anyway
+			}
 		}()
 	}
 	if cfg.cpuProfile != "" {
@@ -130,6 +176,15 @@ func run(cfg runConfig) (retErr error) {
 	}
 	if cfg.stream && (cfg.paf || cfg.sam || cfg.ranks > 0) {
 		return fmt.Errorf("-stream writes TSV only and runs shared-memory (drop -paf/-sam/-p)")
+	}
+	if cfg.onBadRecord != jem.BadRecordFail && !cfg.stream {
+		return fmt.Errorf("-on-bad-record applies to -stream mode only")
+	}
+	if cfg.onBadRecord == jem.BadRecordQuarantine && cfg.quarantinePath == "" {
+		if cfg.outPath == "" {
+			return fmt.Errorf("-on-bad-record=quarantine needs -quarantine-file (or -o, which defaults the sidecar to <output>.quarantine)")
+		}
+		cfg.quarantinePath = cfg.outPath + ".quarantine"
 	}
 	start := time.Now()
 	contigs, err := jem.ReadSequences(cfg.contigPath)
@@ -179,35 +234,12 @@ func run(cfg runConfig) (retErr error) {
 		return jem.WriteTSV(out, dout.Mappings)
 	}
 
-	var mapper *jem.Mapper
-	if cfg.loadIndex != "" {
-		f, err := os.Open(cfg.loadIndex)
-		if err != nil {
-			return err
-		}
-		mapper, err = jem.LoadMapperObserved(f, contigs, reg)
-		_ = f.Close() // read-only; decode errors carry the signal
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
-	} else {
-		mapper, err = jem.NewMapper(contigs, cfg.opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "sketched subjects in %v\n", time.Since(start).Round(time.Millisecond))
+	mapper, err := buildMapper(cfg, contigs, reg)
+	if err != nil {
+		return err
 	}
 	if cfg.saveIndex != "" {
-		f, err := os.Create(cfg.saveIndex)
-		if err != nil {
-			return err
-		}
-		if err := mapper.SaveIndex(f); err != nil {
-			_ = f.Close() // the SaveIndex error is the one to report
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := mapper.SaveIndexFile(cfg.saveIndex); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "saved index to %s\n", cfg.saveIndex)
@@ -215,7 +247,7 @@ func run(cfg runConfig) (retErr error) {
 
 	mapStart := time.Now()
 	if cfg.stream {
-		stats, err := mapStreaming(mapper, cfg.readPath, out)
+		stats, err := mapStreaming(ctx, mapper, cfg, out)
 		printStats(os.Stderr, stats, time.Since(mapStart))
 		return err
 	}
@@ -230,9 +262,50 @@ func run(cfg runConfig) (retErr error) {
 		printMapSummary(os.Stderr, reg, time.Since(mapStart))
 		return mapper.WritePAF(out, pms, reads)
 	}
-	mappings := mapper.MapReads(reads)
+	mappings, mapErr := mapper.MapReadsContext(ctx, reads)
 	printMapSummary(os.Stderr, reg, time.Since(mapStart))
-	return jem.WriteTSV(out, mappings)
+	// On cancellation the completed prefix is still written, so an
+	// interrupted run leaves a well-formed (partial) table behind.
+	if err := jem.WriteTSV(out, mappings); err != nil {
+		return err
+	}
+	return mapErr
+}
+
+// buildMapper loads the index when -load-index is given (falling back
+// to a rebuild from the contigs when the file is corrupt) and sketches
+// the contigs otherwise.
+func buildMapper(cfg runConfig, contigs []jem.Record, reg *obs.Registry) (*jem.Mapper, error) {
+	if cfg.loadIndex != "" {
+		mapper, err := loadIndexMapper(cfg.loadIndex, contigs, reg)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
+			return mapper, nil
+		}
+		if !errors.Is(err, jem.ErrIndexChecksum) {
+			return nil, err
+		}
+		// A checksum mismatch means on-disk corruption of a once-valid
+		// index. The contigs are in hand, so rebuild rather than die —
+		// but never serve the corrupt file.
+		fmt.Fprintf(os.Stderr, "warning: index %s is corrupt (%v); rebuilding from contigs\n",
+			cfg.loadIndex, err)
+	}
+	mapper, err := jem.NewMapper(contigs, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
+	return mapper, nil
+}
+
+func loadIndexMapper(path string, contigs []jem.Record, reg *obs.Registry) (*jem.Mapper, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only; decode errors carry the signal
+	return jem.LoadMapperObserved(f, contigs, reg)
 }
 
 // printMapSummary renders the run epilogue from the registry — the
@@ -248,15 +321,17 @@ func printMapSummary(w io.Writer, reg *obs.Registry, elapsed time.Duration) {
 }
 
 // mapStreaming runs the pipelined streaming path over the reads file
-// (gzip-transparent) and returns its per-phase stats.
-func mapStreaming(mapper *jem.Mapper, readPath string, out *os.File) (jem.Stats, error) {
-	f, err := os.Open(readPath)
+// (gzip-transparent) and returns its per-phase stats. The context
+// cancels the pipeline; whatever was mapped before cancellation is
+// flushed to out regardless.
+func mapStreaming(ctx context.Context, mapper *jem.Mapper, cfg runConfig, out *os.File) (jem.Stats, error) {
+	f, err := os.Open(cfg.readPath)
 	if err != nil {
 		return jem.Stats{}, err
 	}
 	defer f.Close()
 	var src io.Reader = f
-	if strings.HasSuffix(readPath, ".gz") {
+	if strings.HasSuffix(cfg.readPath, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
 			return jem.Stats{}, err
@@ -264,10 +339,29 @@ func mapStreaming(mapper *jem.Mapper, readPath string, out *os.File) (jem.Stats,
 		defer gz.Close()
 		src = gz
 	}
+	opts := jem.StreamOptions{OnBadRecord: cfg.onBadRecord, MaxRecordLen: cfg.maxRecordLen}
+	var sidecar *os.File
+	if cfg.onBadRecord == jem.BadRecordQuarantine {
+		sidecar, err = os.Create(cfg.quarantinePath)
+		if err != nil {
+			return jem.Stats{}, err
+		}
+		opts.Quarantine = sidecar
+	}
 	bw := bufio.NewWriterSize(out, 1<<16)
-	stats, err := mapper.MapStream(src, bw)
+	stats, err := mapper.MapStreamContext(ctx, src, bw, opts)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
+	}
+	if sidecar != nil {
+		// The sidecar is a write handle: its close error is a lost
+		// quarantine log and must surface unless the run already failed.
+		if cerr := sidecar.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if stats.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "quarantined %d bad records to %s\n", stats.Quarantined, cfg.quarantinePath)
+		}
 	}
 	return stats, err
 }
@@ -279,4 +373,8 @@ func printStats(w io.Writer, s jem.Stats, elapsed time.Duration) {
 	fmt.Fprintf(w, "  phase wall: read %v, map %v, write %v\n",
 		s.ReadWall.Round(time.Millisecond), s.MapWall.Round(time.Millisecond),
 		s.WriteWall.Round(time.Millisecond))
+	if s.BadRecords > 0 || s.WorkerPanics > 0 {
+		fmt.Fprintf(w, "  bad records: %d (%d quarantined), worker panics: %d\n",
+			s.BadRecords, s.Quarantined, s.WorkerPanics)
+	}
 }

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -248,7 +249,8 @@ func (m *Mapper) MergeTable(tb *sketch.Table) {
 // goroutine.
 type Session struct {
 	m       *Mapper
-	met     *Metrics // instrument set captured at creation (nil = off)
+	met     *Metrics        // instrument set captured at creation (nil = off)
+	done    <-chan struct{} // cancellation signal from WithContext (nil = never)
 	count   []int32
 	lastq   []int32
 	qid     int32
@@ -275,6 +277,27 @@ func (m *Mapper) NewSession() *Session {
 		s.lastq[i] = -1
 	}
 	return s
+}
+
+// WithContext attaches ctx's cancellation signal to the session and
+// returns it. Long multi-segment operations (MapReadTiled) poll
+// Interrupted between segments and stop early once the context is
+// done; single-segment lookups always run to completion, so a
+// cancelled session never leaves partial counter state behind.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	s.done = ctx.Done()
+	return s
+}
+
+// Interrupted reports whether the context attached via WithContext has
+// been cancelled. Sessions without a context are never interrupted.
+func (s *Session) Interrupted() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // PostingsScanned returns the cumulative number of sketch-table
@@ -542,6 +565,9 @@ func (s *Session) MapReadTiled(read []byte, l, stride int) []TileHit {
 	}
 	var out []TileHit
 	for off := 0; ; off += stride {
+		if s.Interrupted() {
+			return out
+		}
 		end := off + l
 		last := false
 		if end >= len(read) {
@@ -616,10 +642,21 @@ func (m *Mapper) MapReads(reads []seq.Record, l int, workers int) []Result {
 // MapReadsTimed is MapReads plus the query-phase wall time, which the
 // experiment harness uses for throughput accounting (Fig. 7b).
 func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result, time.Duration) {
+	start := time.Now()
+	results, _ := m.MapReadsContext(context.Background(), reads, l, workers)
+	return results, time.Since(start)
+}
+
+// MapReadsContext is MapReads under a cancellable context. When ctx is
+// done, workers stop mapping (they drain the remaining work queue
+// without touching it) and the call returns the results of every read
+// completed so far — in deterministic (read, kind) order with cancelled
+// reads simply absent — together with ctx.Err(). A nil error means the
+// full read set was mapped.
+func (m *Mapper) MapReadsContext(ctx context.Context, reads []seq.Record, l int, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
 	out := make([][]Result, len(reads))
 	var wg sync.WaitGroup
 	idx := make(chan int, 4*workers)
@@ -627,8 +664,11 @@ func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sess := m.NewSession()
+			sess := m.NewSession().WithContext(ctx)
 			for i := range idx {
+				if sess.Interrupted() {
+					continue // drain the queue without mapping
+				}
 				out[i] = mapOneRead(sess, int32(i), reads[i].Seq, l)
 			}
 		}()
@@ -642,7 +682,7 @@ func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result
 	for _, rs := range out {
 		flat = append(flat, rs...)
 	}
-	return flat, time.Since(start)
+	return flat, ctx.Err()
 }
 
 func mapOneRead(sess *Session, readIndex int32, read []byte, l int) []Result {

@@ -2,26 +2,42 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/minimizer"
 	"repro/internal/sketch"
 )
 
-// Index format magics. JEMIDX03 adds a table-kind byte after the
-// subject metadata so a sealed mapper serializes its frozen
-// sorted-array table directly (and a distributed SetFrozen mapper no
-// longer silently writes its empty mutable table — the bug JEMIDX02
-// writers had). JEMIDX02 files remain readable: their body is the
-// mutable-table encoding with no kind byte.
+// Index format magics. JEMIDX04 appends a CRC32 (IEEE) footer over
+// everything before it (magic + body), so on-disk corruption — a
+// flipped bit, a truncated tail, a partial overwrite — is detected at
+// load time instead of silently serving wrong mappings. JEMIDX03 added
+// the table-kind byte after the subject metadata so a sealed mapper
+// serializes its frozen sorted-array table directly; JEMIDX02 bodies
+// are the mutable-table encoding with no kind byte. Both legacy
+// formats remain readable (without checksum protection).
 var (
-	indexMagic       = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '3'}
-	indexMagicLegacy = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
+	indexMagic        = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '4'}
+	indexMagicV3      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '3'}
+	indexMagicLegacy  = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
+	errIndexTruncated = errors.New("core: index truncated: missing checksum footer")
 )
 
-// Table-kind byte values in a JEMIDX03 body.
+// ErrIndexChecksum marks a JEMIDX04 index whose body does not match
+// its checksum footer — the file was corrupted after it was written.
+// Callers holding the original contigs can detect this with errors.Is
+// and rebuild the index from scratch.
+var ErrIndexChecksum = errors.New("core: index checksum mismatch")
+
+// Table-kind byte values in a JEMIDX03+ body.
 const (
 	tableKindMutable = 0 // sketch.Table.Encode format
 	tableKindFrozen  = 1 // sketch.FrozenTable.Encode format
@@ -32,66 +48,147 @@ const (
 // reused across runs (jem-mapper -save-index / -load-index). The
 // active table is the frozen one when Seal or SetFrozen installed it,
 // and the mutable hash table otherwise. The format is little-endian
-// binary, stable across platforms.
+// binary, stable across platforms, and ends with a CRC32 footer over
+// the whole preceding byte stream.
 func (m *Mapper) WriteIndex(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(indexMagic[:]); err != nil {
+	// Everything except the footer itself feeds the checksum; the
+	// MultiWriter keeps hashing off the encoder code paths entirely.
+	h := crc32.NewIEEE()
+	hw := io.MultiWriter(bw, h)
+	if _, err := hw.Write(indexMagic[:]); err != nil {
 		return err
 	}
+	if err := m.writeIndexBody(hw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeIndexBody encodes params, subject metadata, table-kind byte and
+// the active table — the checksummed payload between magic and footer.
+func (m *Mapper) writeIndexBody(w io.Writer) error {
 	p := m.sk.Params()
 	for _, v := range []uint64{
 		uint64(p.K), uint64(p.W), uint64(p.T), uint64(p.L),
 		uint64(p.Seed), uint64(p.Order),
 	} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.subjects))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(m.subjects))); err != nil {
 		return err
 	}
 	for _, s := range m.subjects {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.Name))); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(s.Name))); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(s.Name); err != nil {
+		if _, err := io.WriteString(w, s.Name); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(s.Length)); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint32(s.Length)); err != nil {
 			return err
 		}
 	}
 	if m.frozen != nil {
-		if err := bw.WriteByte(tableKindFrozen); err != nil {
+		if _, err := w.Write([]byte{tableKindFrozen}); err != nil {
 			return err
 		}
-		if err := m.frozen.Encode(bw); err != nil {
-			return err
+		return m.frozen.Encode(w)
+	}
+	if _, err := w.Write([]byte{tableKindMutable}); err != nil {
+		return err
+	}
+	return m.table.Encode(w)
+}
+
+// WriteIndexFile writes the index to path atomically: the bytes go to
+// a temporary file in the same directory, are synced to stable
+// storage, and only then renamed over path. A crash, disk-full error
+// or kill mid-write leaves either the old file or no file — never a
+// partial index that a later run would try to serve.
+func (m *Mapper) WriteIndexFile(path string) (retErr error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if retErr != nil {
+			_ = os.Remove(tmp.Name())
 		}
-	} else {
-		if err := bw.WriteByte(tableKindMutable); err != nil {
-			return err
-		}
-		if err := m.table.Encode(bw); err != nil {
+	}()
+	// fault.Writer lets tests inject ENOSPC/stalls into the index write
+	// path; it is the identity when no fault is armed.
+	if err := m.WriteIndex(fault.Writer(tmp)); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// IndexByteFlip corrupts the fully written temp file before the
+	// rename — the scenario the JEMIDX04 checksum exists to catch.
+	if _, ok := fault.Fire(fault.IndexByteFlip); ok {
+		if err := fault.FlipFileByte(tmp.Name()); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return os.Rename(tmp.Name(), path)
 }
 
 // ReadIndex deserializes a mapper previously written by WriteIndex.
-// Both the current JEMIDX03 format and legacy JEMIDX02 files are
-// accepted. A frozen-table index loads as a sealed mapper.
+// The current JEMIDX04 format is checksum-verified before any decoding
+// (a mismatch returns an error wrapping ErrIndexChecksum); legacy
+// JEMIDX03 and JEMIDX02 files are accepted without verification. A
+// frozen-table index loads as a sealed mapper.
 func ReadIndex(r io.Reader) (*Mapper, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading index magic: %w", err)
 	}
-	legacy := magic == indexMagicLegacy
-	if magic != indexMagic && !legacy {
+	switch magic {
+	case indexMagic:
+		// Verify the footer before decoding anything: buffer the rest of
+		// the stream (the decoded table dwarfs the file, so this does not
+		// change the memory high-water mark), split off the 4-byte CRC,
+		// and compare against the hash of magic+body.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading index: %w", err)
+		}
+		if len(rest) < 4 {
+			return nil, errIndexTruncated
+		}
+		body, footer := rest[:len(rest)-4], rest[len(rest)-4:]
+		want := binary.LittleEndian.Uint32(footer)
+		got := crc32.Update(crc32.ChecksumIEEE(magic[:]), crc32.IEEETable, body)
+		if got != want {
+			return nil, fmt.Errorf("%w: computed %08x, footer says %08x", ErrIndexChecksum, got, want)
+		}
+		return readIndexBody(bufio.NewReader(bytes.NewReader(body)), false)
+	case indexMagicV3:
+		return readIndexBody(br, false)
+	case indexMagicLegacy:
+		return readIndexBody(br, true)
+	default:
 		return nil, fmt.Errorf("core: not a JEM index (magic %q)", magic[:])
 	}
+}
+
+// readIndexBody decodes the params/subjects/table payload shared by
+// every format version. legacy selects the JEMIDX02 body, which lacks
+// the table-kind byte.
+func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
 	var raw [6]uint64
 	for i := range raw {
 		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
@@ -166,6 +263,20 @@ func ReadIndex(r io.Reader) (*Mapper, error) {
 		m.sealed = true
 	default:
 		return nil, fmt.Errorf("core: unknown table kind %d", kind)
+	}
+	return m, nil
+}
+
+// ReadIndexFile loads an index from disk via ReadIndex.
+func ReadIndexFile(path string) (*Mapper, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadIndex(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: index %s: %w", path, err)
 	}
 	return m, nil
 }

@@ -52,6 +52,30 @@ func badDeferCreateClose(path string, b []byte) error {
 	return err
 }
 
+// sidecar mirrors the quarantine sidecar writer in the streaming
+// mapper: a wrapper that appends records to an io.Writer. Dropping
+// the Write error loses the very records the sidecar exists to
+// preserve.
+type sidecar struct {
+	w   io.Writer
+	err error
+}
+
+func (q *sidecar) badRecord(entry []byte) {
+	q.w.Write(entry) // want `error from q\.w\.Write is discarded`
+}
+
+// record is the accepted idiom: latch the first error and let the
+// caller surface it once the stream ends.
+func (q *sidecar) record(entry []byte) {
+	if q.err != nil {
+		return
+	}
+	if _, err := q.w.Write(entry); err != nil {
+		q.err = err
+	}
+}
+
 // goodCreateClose closes the write handle explicitly, propagating
 // close-time write errors through a named return.
 func goodCreateClose(path string, b []byte) (retErr error) {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -69,6 +70,12 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Close stops the server immediately (in-flight scrapes are cut).
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once
+// but in-flight scrapes finish (or ctx expires, whichever is first).
+// The run epilogue uses this so a scraper mid-collection at exit gets
+// a complete response instead of a reset connection.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // registerRuntimeGauges adds scrape-time process gauges so even an
 // otherwise-empty registry (jem-bench) exposes something useful.

@@ -4,11 +4,40 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 )
+
+// RecordError is a structural parse error in FASTA/FASTQ input — a
+// malformed or truncated record — as opposed to an I/O failure of the
+// underlying stream. Streaming callers use the distinction to skip or
+// quarantine bad records and continue (via Resync); an error that is
+// NOT a RecordError means the stream itself is broken and cannot be
+// resumed.
+type RecordError struct {
+	// Line is the 1-based input line where the problem was detected.
+	Line int
+	// ID is the record's ID when the header had been parsed, else "".
+	ID string
+	// Msg describes the structural problem.
+	Msg string
+}
+
+func (e *RecordError) Error() string {
+	if e.ID != "" {
+		return fmt.Sprintf("seq: line %d: record %q: %s", e.Line, e.ID, e.Msg)
+	}
+	return fmt.Sprintf("seq: line %d: %s", e.Line, e.Msg)
+}
+
+// IsRecordError reports whether err is (or wraps) a RecordError.
+func IsRecordError(err error) bool {
+	var re *RecordError
+	return errors.As(err, &re)
+}
 
 // Format identifies a sequence file format.
 type Format int
@@ -52,6 +81,10 @@ func NewReader(r io.Reader) *Reader {
 // Format returns the sniffed format, available after the first Read.
 func (r *Reader) Format() Format { return r.format }
 
+// Line returns the 1-based number of the last input line consumed —
+// after a failed Read, the line where the problem was detected.
+func (r *Reader) Line() int { return r.line }
+
 func (r *Reader) sniff() error {
 	for {
 		b, err := r.br.ReadByte()
@@ -66,9 +99,40 @@ func (r *Reader) sniff() error {
 		case '@':
 			r.format = FormatFASTQ
 		default:
-			return fmt.Errorf("seq: cannot sniff format: leading byte %q", b)
+			return &RecordError{Line: r.line + 1, Msg: fmt.Sprintf("cannot sniff format: leading byte %q", b)}
 		}
 		return r.br.UnreadByte()
+	}
+}
+
+// Resync discards input up to the next plausible record start — a line
+// beginning with the format's header byte ('>' for FASTA, '@' for
+// FASTQ, either while the format is still unknown) — so a caller that
+// chose to skip a malformed record (Read returned a RecordError) can
+// continue reading. Returns io.EOF when the input ends first.
+//
+// Resynchronization is best-effort: a FASTQ quality line may
+// legitimately begin with '@', so Resync can land on a non-header
+// line. The next Read then reports another RecordError and the caller
+// may Resync again; every failed Read/Resync pair consumes at least
+// one line (or one byte), so the skip loop always terminates.
+func (r *Reader) Resync() error {
+	for {
+		peek, err := r.br.Peek(1)
+		if err != nil {
+			return err // io.EOF at clean end of input
+		}
+		switch b := peek[0]; {
+		case r.format == FormatFASTA && b == '>':
+			return nil
+		case r.format == FormatFASTQ && b == '@':
+			return nil
+		case r.format == FormatUnknown && (b == '>' || b == '@'):
+			return nil
+		}
+		if _, err := r.readLine(); err != nil && err != io.EOF {
+			return err
+		}
 	}
 }
 
@@ -131,7 +195,7 @@ func (r *Reader) readFASTA() (Record, error) {
 			continue
 		}
 		if line[0] != '>' {
-			return Record{}, fmt.Errorf("seq: line %d: expected FASTA header, got %q", r.line, line)
+			return Record{}, &RecordError{Line: r.line, Msg: fmt.Sprintf("expected FASTA header, got %q", line)}
 		}
 		header = line
 		break
@@ -139,9 +203,11 @@ func (r *Reader) readFASTA() (Record, error) {
 	rec := Record{}
 	rec.ID, rec.Desc = splitHeader(string(header[1:]))
 	var sb bytes.Buffer
+	atEOF := false
 	for {
 		peek, err := r.br.Peek(1)
 		if err == io.EOF {
+			atEOF = true
 			break
 		}
 		if err != nil {
@@ -159,12 +225,20 @@ func (r *Reader) readFASTA() (Record, error) {
 		// header preceded by whitespace); accepting it would corrupt
 		// the stream on a write/read round trip.
 		if bytes.IndexByte(payload, '>') >= 0 {
-			return Record{}, fmt.Errorf("seq: line %d: '>' inside sequence data of record %q", r.line, rec.ID)
+			return Record{}, &RecordError{Line: r.line, ID: rec.ID, Msg: "'>' inside sequence data"}
 		}
 		sb.Write(payload)
 		if err == io.EOF {
+			atEOF = true
 			break
 		}
+	}
+	// A header whose sequence never arrived before EOF is a truncated
+	// record (chopped download, partial write) — reporting it beats
+	// silently serving an empty sequence.
+	if atEOF && sb.Len() == 0 {
+		return Record{}, &RecordError{Line: r.line, ID: rec.ID,
+			Msg: "truncated FASTA record: header without sequence data at EOF"}
 	}
 	rec.Seq = Upper(sb.Bytes())
 	if err := r.check(rec); err != nil {
@@ -189,7 +263,7 @@ func (r *Reader) readFASTQ() (Record, error) {
 			continue
 		}
 		if line[0] != '@' {
-			return Record{}, fmt.Errorf("seq: line %d: expected FASTQ header, got %q", r.line, line)
+			return Record{}, &RecordError{Line: r.line, Msg: fmt.Sprintf("expected FASTQ header, got %q", line)}
 		}
 		header = line
 		break
@@ -197,26 +271,44 @@ func (r *Reader) readFASTQ() (Record, error) {
 	rec := Record{}
 	rec.ID, rec.Desc = splitHeader(string(header[1:]))
 
+	// A FASTQ record is exactly four lines. EOF before all four exist
+	// is a truncated final record and must be an error, not a silent
+	// accept (e.g. "@r\n\n+\n" used to parse as an empty record) or a
+	// confusing structural message. readLine signals a missing line as
+	// (empty, io.EOF); a present-but-empty line comes back (empty, nil).
+	truncated := func(missing string) error {
+		return &RecordError{Line: r.line, ID: rec.ID,
+			Msg: fmt.Sprintf("truncated FASTQ record: unexpected EOF before %s line", missing)}
+	}
 	seqLine, err := r.readLine()
 	if err != nil && err != io.EOF {
 		return Record{}, err
+	}
+	if err == io.EOF && len(seqLine) == 0 {
+		return Record{}, truncated("sequence")
 	}
 	plus, err := r.readLine()
 	if err != nil && err != io.EOF {
 		return Record{}, err
 	}
+	if err == io.EOF && len(plus) == 0 {
+		return Record{}, truncated("'+' separator")
+	}
 	if len(plus) == 0 || plus[0] != '+' {
-		return Record{}, fmt.Errorf("seq: line %d: expected '+' separator in FASTQ record %q", r.line, rec.ID)
+		return Record{}, &RecordError{Line: r.line, ID: rec.ID, Msg: "expected '+' separator"}
 	}
 	qualLine, err := r.readLine()
 	if err != nil && err != io.EOF {
 		return Record{}, err
 	}
+	if err == io.EOF && len(qualLine) == 0 {
+		return Record{}, truncated("quality")
+	}
 	rec.Seq = Upper(append([]byte(nil), bytes.TrimSpace(seqLine)...))
 	rec.Qual = append([]byte(nil), bytes.TrimSpace(qualLine)...)
 	if len(rec.Qual) != len(rec.Seq) {
-		return Record{}, fmt.Errorf("seq: FASTQ record %q: qual length %d != seq length %d",
-			rec.ID, len(rec.Qual), len(rec.Seq))
+		return Record{}, &RecordError{Line: r.line, ID: rec.ID,
+			Msg: fmt.Sprintf("qual length %d != seq length %d", len(rec.Qual), len(rec.Seq))}
 	}
 	if err := r.check(rec); err != nil {
 		return Record{}, err
@@ -226,7 +318,7 @@ func (r *Reader) readFASTQ() (Record, error) {
 
 func (r *Reader) check(rec Record) error {
 	if r.Strict && !IsValid(rec.Seq) {
-		return fmt.Errorf("seq: record %q contains non-ACGT bases", rec.ID)
+		return &RecordError{Line: r.line, ID: rec.ID, Msg: "contains non-ACGT bases"}
 	}
 	return nil
 }

@@ -1,0 +1,202 @@
+package seq
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestTruncatedFinalRecord pins the contract that EOF in the middle of
+// a record is an error, never a silent accept or drop.
+func TestTruncatedFinalRecord(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr bool
+		wantIDs []string // records accepted before the error / EOF
+	}{
+		// FASTA.
+		{"fasta complete", ">a\nACGT\n", false, []string{"a"}},
+		{"fasta complete no trailing newline", ">a\nACGT", false, []string{"a"}},
+		{"fasta header only", ">a\n", true, nil},
+		{"fasta header only no newline", ">a", true, nil},
+		{"fasta header then blank at EOF", ">a\n\n", true, nil},
+		{"fasta good then truncated", ">a\nACGT\n>b\n", true, []string{"a"}},
+		{"fasta mid-file empty record", ">a\n>b\nACGT\n", false, []string{"a", "b"}},
+
+		// FASTQ.
+		{"fastq complete", "@q\nACGT\n+\nIIII\n", false, []string{"q"}},
+		{"fastq complete no trailing newline", "@q\nACGT\n+\nIIII", false, []string{"q"}},
+		{"fastq header only", "@q\n", true, nil},
+		{"fastq missing plus and qual", "@q\nACGT\n", true, nil},
+		{"fastq missing qual", "@q\nACGT\n+\n", true, nil},
+		{"fastq empty seq missing qual", "@q\n\n+\n", true, nil},
+		{"fastq empty record complete", "@q\n\n+\n\n", false, []string{"q"}},
+		{"fastq good then truncated", "@a\nAC\n+\nII\n@b\nAC\n", true, []string{"a"}},
+		{"fastq truncated qual line", "@q\nACGT\n+\nII\n", true, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.in))
+			var ids []string
+			var err error
+			for {
+				var rec Record
+				rec, err = r.Read()
+				if err != nil {
+					break
+				}
+				ids = append(ids, rec.ID)
+			}
+			if tc.wantErr {
+				if err == io.EOF {
+					t.Fatalf("input %q: accepted cleanly (records %v), want truncation error", tc.in, ids)
+				}
+				if !IsRecordError(err) {
+					t.Fatalf("input %q: error %v is not a RecordError", tc.in, err)
+				}
+			} else if err != io.EOF {
+				t.Fatalf("input %q: unexpected error %v", tc.in, err)
+			}
+			if len(ids) != len(tc.wantIDs) {
+				t.Fatalf("input %q: accepted %v, want %v", tc.in, ids, tc.wantIDs)
+			}
+			for i := range ids {
+				if ids[i] != tc.wantIDs[i] {
+					t.Fatalf("input %q: accepted %v, want %v", tc.in, ids, tc.wantIDs)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordErrorClassification: structural problems are RecordErrors
+// (skippable); underlying I/O failures are not.
+func TestRecordErrorClassification(t *testing.T) {
+	structural := []string{
+		"x not a header\n",
+		">a\nAC>GT\nACGT\n", // '>' inside payload line
+		"@q\nACGT\nIIII\n",  // missing '+' separator
+		"@q\nACGT\n+\nII\n", // qual length mismatch
+	}
+	for _, in := range structural {
+		_, err := NewReader(strings.NewReader(in)).ReadAll()
+		if err == nil {
+			t.Errorf("input %q: no error", in)
+			continue
+		}
+		if !IsRecordError(err) {
+			t.Errorf("input %q: %v should be a RecordError", in, err)
+		}
+	}
+	// An I/O error from the stream must NOT classify as a RecordError.
+	ioErr := io.ErrUnexpectedEOF
+	r := NewReader(io.MultiReader(strings.NewReader(">a\nACGT\n"), errReader{ioErr}))
+	_, err := r.ReadAll()
+	if err == nil || IsRecordError(err) {
+		t.Errorf("I/O failure classified as record error: %v", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// TestResync proves a reader can skip past a malformed record and keep
+// going — the quarantine path's resynchronization primitive.
+func TestResync(t *testing.T) {
+	t.Run("fastq", func(t *testing.T) {
+		in := "@good1\nACGT\n+\nIIII\n" +
+			"@bad\nACGT\nIIII\n" + // missing '+': error consumes 3 lines
+			"@good2\nTTTT\n+\nIIII\n"
+		r := NewReader(strings.NewReader(in))
+		rec, err := r.Read()
+		if err != nil || rec.ID != "good1" {
+			t.Fatalf("first: %v %v", rec.ID, err)
+		}
+		if _, err := r.Read(); !IsRecordError(err) {
+			t.Fatalf("bad record: err=%v", err)
+		}
+		if err := r.Resync(); err != nil {
+			t.Fatalf("Resync: %v", err)
+		}
+		rec, err = r.Read()
+		if err != nil || rec.ID != "good2" {
+			t.Fatalf("after resync: %q %v", rec.ID, err)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	})
+	t.Run("fasta", func(t *testing.T) {
+		in := ">good1\nACGT\n>bad\nAC>GT\n>good2\nTTTT\n"
+		r := NewReader(strings.NewReader(in))
+		if rec, err := r.Read(); err != nil || rec.ID != "good1" {
+			t.Fatalf("first: %v", err)
+		}
+		if _, err := r.Read(); !IsRecordError(err) {
+			t.Fatalf("bad record: err=%v", err)
+		}
+		if err := r.Resync(); err != nil {
+			t.Fatalf("Resync: %v", err)
+		}
+		if rec, err := r.Read(); err != nil || rec.ID != "good2" {
+			t.Fatalf("after resync: %q %v", rec.ID, err)
+		}
+	})
+	t.Run("resync at EOF", func(t *testing.T) {
+		r := NewReader(strings.NewReader("@bad\nACGT\n"))
+		if _, err := r.Read(); !IsRecordError(err) {
+			t.Fatalf("want RecordError, got %v", err)
+		}
+		if err := r.Resync(); err != io.EOF {
+			t.Fatalf("Resync at EOF: %v", err)
+		}
+	})
+	t.Run("repeated resync terminates", func(t *testing.T) {
+		// Garbage that repeatedly resyncs onto non-header '@' lines must
+		// still drain to EOF in bounded steps.
+		in := "@a\n@@@\n@@@\n@@@\n@@@\nzz\n"
+		r := NewReader(strings.NewReader(in))
+		for i := 0; i < 100; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err == nil {
+				continue
+			}
+			if rerr := r.Resync(); rerr == io.EOF {
+				return
+			} else if rerr != nil {
+				t.Fatalf("Resync: %v", rerr)
+			}
+		}
+		t.Fatal("skip loop did not terminate")
+	})
+}
+
+// TestTruncationRoundTripStability: whatever the writer emits, the
+// reader must accept — truncation errors must not reject well-formed
+// output of our own writers.
+func TestTruncationRoundTripStability(t *testing.T) {
+	recs := []Record{
+		{ID: "a", Seq: []byte("ACGTACGT")},
+		{ID: "b", Desc: "desc here", Seq: []byte("TT"), Qual: []byte("II")},
+	}
+	var fa bytes.Buffer
+	if err := WriteFASTA(&fa, recs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := NewReader(&fa).ReadAll(); err != nil || len(got) != 2 {
+		t.Fatalf("FASTA round trip: %d records, err=%v", len(got), err)
+	}
+	var fq bytes.Buffer
+	if err := WriteFASTQ(&fq, recs); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := NewReader(&fq).ReadAll(); err != nil || len(got) != 2 {
+		t.Fatalf("FASTQ round trip: %d records, err=%v", len(got), err)
+	}
+}

@@ -22,6 +22,7 @@
 package jem
 
 import (
+	"context"
 	"io"
 	"strconv"
 
@@ -164,6 +165,15 @@ func (m *Mapper) MapReads(reads []Record) []Mapping {
 	return m.convert(results, reads)
 }
 
+// MapReadsContext is MapReads under a cancellable context: when ctx is
+// done the workers stop early and the call returns the mappings of
+// every read completed so far together with ctx.Err(). A nil error
+// means the full read set was mapped.
+func (m *Mapper) MapReadsContext(ctx context.Context, reads []Record) ([]Mapping, error) {
+	results, err := m.core.MapReadsContext(ctx, reads, m.opts.SegmentLen, m.opts.Workers)
+	return m.convert(results, reads), err
+}
+
 func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
 	out := make([]Mapping, len(results))
 	for i, r := range results {
@@ -188,11 +198,26 @@ func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
 
 // SaveIndex serializes the mapper's sketch index (parameters, subject
 // metadata, sketch table) so it can be reloaded with LoadMapper
-// instead of re-sketching the contigs.
+// instead of re-sketching the contigs. The serialized form carries a
+// checksum footer that LoadMapper verifies.
 func (m *Mapper) SaveIndex(w io.Writer) error {
 	sp := m.reg.Tracer().Start("index.write")
 	defer sp.End()
 	return m.core.WriteIndex(w)
+}
+
+// ErrIndexChecksum marks an index file whose contents no longer match
+// the checksum it was written with — on-disk corruption. Detect it
+// with errors.Is and rebuild the index from the contigs.
+var ErrIndexChecksum = core.ErrIndexChecksum
+
+// SaveIndexFile writes the index to path atomically (temp file in the
+// same directory + rename), so an interrupted save can never leave a
+// partial index behind.
+func (m *Mapper) SaveIndexFile(path string) error {
+	sp := m.reg.Tracer().Start("index.write")
+	defer sp.End()
+	return m.core.WriteIndexFile(path)
 }
 
 // LoadMapper reconstructs a mapper from an index written by SaveIndex.

@@ -20,6 +20,10 @@ type mapperMetrics struct {
 	segments *obs.Counter // end segments drained by the stream writer
 	mapped   *obs.Counter // drained segments that hit a contig
 
+	badRecords  *obs.Counter // malformed/over-length records rejected by the reader
+	quarantined *obs.Counter // bad records written to the quarantine sidecar
+	panics      *obs.Counter // worker panics recovered into batch errors
+
 	readWall  *obs.Gauge // cumulative seconds parsing input records
 	mapWall   *obs.Gauge // cumulative worker seconds sketching+mapping
 	writeWall *obs.Gauge // cumulative seconds formatting+writing TSV
@@ -31,6 +35,12 @@ func newMapperMetrics(reg *obs.Registry, cm *core.Mapper) *mapperMetrics {
 		reads:    reg.Counter("jem_stream_reads_total", "records pulled from the input stream"),
 		segments: reg.Counter("jem_stream_segments_total", "end segments drained by the stream writer"),
 		mapped:   reg.Counter("jem_stream_segments_mapped_total", "drained segments that hit a contig"),
+		badRecords: reg.Counter("jem_stream_bad_records_total",
+			"malformed or over-length records rejected by the stream reader"),
+		quarantined: reg.Counter("jem_stream_quarantined_total",
+			"bad records written to the quarantine sidecar"),
+		panics: reg.Counter("jem_stream_worker_panics_total",
+			"worker panics recovered into per-batch errors"),
 		readWall: reg.Gauge("jem_stream_read_wall_seconds",
 			"cumulative wall time parsing FASTA/FASTQ records"),
 		mapWall: reg.Gauge("jem_stream_map_wall_seconds",
@@ -45,18 +55,22 @@ func newMapperMetrics(reg *obs.Registry, cm *core.Mapper) *mapperMetrics {
 // is that run's Stats.
 type streamSnapshot struct {
 	reads, segments, mapped, postings int64
+	badRecords, quarantined, panics   int64
 	readWall, mapWall, writeWall      float64
 }
 
 func (mm *mapperMetrics) snapshot() streamSnapshot {
 	return streamSnapshot{
-		reads:     mm.reads.Value(),
-		segments:  mm.segments.Value(),
-		mapped:    mm.mapped.Value(),
-		postings:  mm.core.Postings.Value(),
-		readWall:  mm.readWall.Value(),
-		mapWall:   mm.mapWall.Value(),
-		writeWall: mm.writeWall.Value(),
+		reads:       mm.reads.Value(),
+		segments:    mm.segments.Value(),
+		mapped:      mm.mapped.Value(),
+		postings:    mm.core.Postings.Value(),
+		badRecords:  mm.badRecords.Value(),
+		quarantined: mm.quarantined.Value(),
+		panics:      mm.panics.Value(),
+		readWall:    mm.readWall.Value(),
+		mapWall:     mm.mapWall.Value(),
+		writeWall:   mm.writeWall.Value(),
 	}
 }
 
@@ -69,6 +83,9 @@ func (mm *mapperMetrics) statsSince(base streamSnapshot) Stats {
 		Reads:           int(now.reads - base.reads),
 		Segments:        int(now.segments - base.segments),
 		Mapped:          int(now.mapped - base.mapped),
+		BadRecords:      int(now.badRecords - base.badRecords),
+		Quarantined:     int(now.quarantined - base.quarantined),
+		WorkerPanics:    int(now.panics - base.panics),
 		PostingsScanned: now.postings - base.postings,
 		ReadWall:        secondsToDuration(now.readWall - base.readWall),
 		MapWall:         secondsToDuration(now.mapWall - base.mapWall),

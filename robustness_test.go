@@ -1,0 +1,353 @@
+package jem_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro"
+	"repro/internal/fault"
+)
+
+// streamMapper builds the shared mapper + serialized FASTQ input the
+// robustness tests feed through the pipeline.
+func streamMapper(t *testing.T) (*jem.Mapper, *jem.Dataset, []byte) {
+	t.Helper()
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	return mapper, ds, reads.Bytes()
+}
+
+// checkTSVShape asserts the output is a well-formed (possibly partial)
+// TSV table: a header and complete 4-column rows, no torn lines.
+func checkTSVShape(t *testing.T, out string) (rows int) {
+	t.Helper()
+	if out == "" {
+		t.Fatal("no output at all (header must always be written)")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("output ends mid-line: %q", out[max(0, len(out)-40):])
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if lines[0] != "read_id\tend\tcontig_id\tshared_trials" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	for i, ln := range lines[1:] {
+		if got := strings.Count(ln, "\t"); got != 3 {
+			t.Fatalf("row %d has %d tabs, want 3: %q", i, got, ln)
+		}
+	}
+	return len(lines) - 1
+}
+
+// TestMapStreamContextPreCancelled: a context cancelled before the
+// call produces a header-only table and ctx.Err(), not a hang or a
+// torn file.
+func TestMapStreamContextPreCancelled(t *testing.T) {
+	mapper, _, reads := streamMapper(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(ctx, bytes.NewReader(reads), &out, jem.StreamOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Reads != 0 {
+		t.Errorf("stats.Reads = %d, want 0", stats.Reads)
+	}
+	if rows := checkTSVShape(t, out.String()); rows != 0 {
+		t.Errorf("wrote %d rows after pre-cancel, want 0", rows)
+	}
+}
+
+// cancelAfterReader cancels the context after n Read calls and keeps
+// serving data — modeling a signal arriving mid-stream.
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		c.cancel()
+	}
+	c.n--
+	return c.r.Read(p)
+}
+
+// TestMapStreamContextCancelMidStream pins the drain contract: on
+// cancellation every record read so far is still mapped, written and
+// counted, the output is a well-formed partial table, and ctx.Err()
+// is returned.
+func TestMapStreamContextCancelMidStream(t *testing.T) {
+	mapper, ds, reads := streamMapper(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(ctx,
+		&cancelAfterReader{r: bytes.NewReader(reads), n: 1, cancel: cancel},
+		&out, jem.StreamOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Reads >= len(ds.Reads) {
+		t.Fatalf("stats.Reads = %d, want < %d (cancellation ignored?)", stats.Reads, len(ds.Reads))
+	}
+	rows := checkTSVShape(t, out.String())
+	// Everything read pre-cancel was drained: rows written == segments
+	// counted == 2 per read (every read here is longer than ℓ).
+	if rows != stats.Segments {
+		t.Errorf("wrote %d rows but counted %d segments", rows, stats.Segments)
+	}
+	if want := 2 * stats.Reads; stats.Segments != want {
+		t.Errorf("stats.Segments = %d, want %d (in-flight batches must drain)", stats.Segments, want)
+	}
+}
+
+// badRecordInput interleaves malformed records with good ones:
+// rec "bad1" is missing its '+' separator, rec "bad2" has a
+// quality-length mismatch.
+func badRecordInput(good []jem.Record) []byte {
+	var buf bytes.Buffer
+	writeOne := func(r jem.Record) {
+		buf.WriteString("@" + r.ID + "\n")
+		buf.Write(r.Seq)
+		buf.WriteString("\n+\n")
+		for range r.Seq {
+			buf.WriteByte('I')
+		}
+		buf.WriteByte('\n')
+	}
+	writeOne(good[0])
+	buf.WriteString("@bad1\nACGTACGT\nIIIIIIII\n") // no '+' line
+	writeOne(good[1])
+	buf.WriteString("@bad2\nACGTACGT\n+\nII\n") // qual length mismatch
+	for _, r := range good[2:] {
+		writeOne(r)
+	}
+	return buf.Bytes()
+}
+
+// TestMapStreamSkipPolicy: skip counts bad records and maps every
+// parseable one; the run succeeds.
+func TestMapStreamSkipPolicy(t *testing.T) {
+	mapper, ds, _ := streamMapper(t)
+	in := badRecordInput(ds.Reads)
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip})
+	if err != nil {
+		t.Fatalf("skip policy failed the run: %v", err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d good records", stats.Reads, len(ds.Reads))
+	}
+	if stats.BadRecords != 2 {
+		t.Errorf("stats.BadRecords = %d, want 2", stats.BadRecords)
+	}
+	if stats.Quarantined != 0 {
+		t.Errorf("stats.Quarantined = %d, want 0 under skip", stats.Quarantined)
+	}
+	if rows := checkTSVShape(t, out.String()); rows != 2*len(ds.Reads) {
+		t.Errorf("wrote %d rows, want %d", rows, 2*len(ds.Reads))
+	}
+	// The same input under the default fail policy must abort.
+	if _, err := mapper.MapStream(bytes.NewReader(in), io.Discard); err == nil {
+		t.Error("fail policy accepted a malformed record")
+	}
+}
+
+// TestMapStreamQuarantinePolicy: quarantine behaves like skip and
+// additionally logs line number, record ID and cause to the sidecar.
+func TestMapStreamQuarantinePolicy(t *testing.T) {
+	mapper, ds, _ := streamMapper(t)
+	in := badRecordInput(ds.Reads)
+	var out, sidecar bytes.Buffer
+	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+		jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &sidecar})
+	if err != nil {
+		t.Fatalf("quarantine policy failed the run: %v", err)
+	}
+	if stats.BadRecords != 2 || stats.Quarantined != 2 {
+		t.Errorf("bad=%d quarantined=%d, want 2/2", stats.BadRecords, stats.Quarantined)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d", stats.Reads, len(ds.Reads))
+	}
+	entries := strings.Split(strings.TrimSuffix(sidecar.String(), "\n"), "\n")
+	if len(entries) != 2 {
+		t.Fatalf("sidecar has %d entries, want 2:\n%s", len(entries), sidecar.String())
+	}
+	for i, want := range []string{"bad1", "bad2"} {
+		fields := strings.SplitN(entries[i], "\t", 3)
+		if len(fields) != 3 {
+			t.Fatalf("sidecar entry %d is not line\\tid\\terror: %q", i, entries[i])
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			t.Errorf("sidecar entry %d line number %q: %v", i, fields[0], err)
+		}
+		if fields[1] != want {
+			t.Errorf("sidecar entry %d id = %q, want %q", i, fields[1], want)
+		}
+		if fields[2] == "" {
+			t.Errorf("sidecar entry %d has no error text", i)
+		}
+	}
+}
+
+// TestMapStreamMaxRecordLen: an over-length record is a bad record —
+// skippable under skip/quarantine, fatal under fail.
+func TestMapStreamMaxRecordLen(t *testing.T) {
+	mapper, ds, reads := streamMapper(t)
+	limit := 0
+	for _, r := range ds.Reads {
+		if len(r.Seq) > limit {
+			limit = len(r.Seq)
+		}
+	}
+	limit-- // exactly the longest read(s) become bad
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), &out,
+		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip, MaxRecordLen: limit})
+	if err != nil {
+		t.Fatalf("skip policy: %v", err)
+	}
+	if stats.BadRecords == 0 {
+		t.Error("no record exceeded the limit; test input broken")
+	}
+	if stats.Reads+stats.BadRecords != len(ds.Reads) {
+		t.Errorf("reads %d + bad %d != total %d", stats.Reads, stats.BadRecords, len(ds.Reads))
+	}
+	if _, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), io.Discard,
+		jem.StreamOptions{MaxRecordLen: limit}); err == nil {
+		t.Error("fail policy accepted an over-length record")
+	}
+}
+
+// TestMapStreamWorkerPanicFailPolicy: an injected worker panic is
+// recovered, surfaces as the run's error under the fail policy, and
+// never crashes the process.
+func TestMapStreamWorkerPanicFailPolicy(t *testing.T) {
+	defer fault.Reset()
+	mapper, _, reads := streamMapper(t)
+	fault.Set(fault.WorkerPanic, fault.Spec{Times: 1})
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	if err == nil {
+		t.Fatal("worker panic did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "worker panic") {
+		t.Fatalf("err = %v, want a worker-panic batch error", err)
+	}
+	if stats.WorkerPanics != 1 {
+		t.Errorf("stats.WorkerPanics = %d, want 1", stats.WorkerPanics)
+	}
+	checkTSVShape(t, out.String())
+}
+
+// TestMapStreamWorkerPanicSkipPolicy: under skip the panicked batch's
+// rows are lost but counted, and the stream finishes cleanly.
+func TestMapStreamWorkerPanicSkipPolicy(t *testing.T) {
+	defer fault.Reset()
+	mapper, ds, reads := streamMapper(t)
+	fault.Set(fault.WorkerPanic, fault.Spec{Times: 1})
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), &out,
+		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip})
+	if err != nil {
+		t.Fatalf("skip policy surfaced the batch error: %v", err)
+	}
+	if stats.WorkerPanics != 1 {
+		t.Errorf("stats.WorkerPanics = %d, want 1", stats.WorkerPanics)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d", stats.Reads, len(ds.Reads))
+	}
+	rows := checkTSVShape(t, out.String())
+	if rows != stats.Segments {
+		t.Errorf("wrote %d rows but counted %d segments", rows, stats.Segments)
+	}
+	if rows >= 2*len(ds.Reads) {
+		t.Errorf("wrote %d rows; the panicked batch's rows should be missing", rows)
+	}
+}
+
+// TestMapStreamInjectedENOSPC: a disk-full error from the fault
+// registry behaves exactly like the hand-rolled failing writer —
+// output stops, accounting continues, the errno surfaces.
+func TestMapStreamInjectedENOSPC(t *testing.T) {
+	defer fault.Reset()
+	mapper, ds, reads := streamMapper(t)
+	// Let the header and two rows through, then every write fails.
+	fault.Set(fault.WriterENOSPC, fault.Spec{After: 3})
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d", stats.Reads, len(ds.Reads))
+	}
+	if want := 2 * len(ds.Reads); stats.Segments != want {
+		t.Errorf("stats.Segments = %d, want %d (accounting must survive ENOSPC)", stats.Segments, want)
+	}
+	checkTSVShape(t, out.String())
+}
+
+// TestMapStreamInjectedReaderError: the reader.err fault aborts the
+// stream with the injected error after flushing completed work.
+func TestMapStreamInjectedReaderError(t *testing.T) {
+	defer fault.Reset()
+	mapper, _, reads := streamMapper(t)
+	fault.Set(fault.ReaderErr, fault.Spec{After: 1})
+	var out bytes.Buffer
+	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	if !errors.Is(err, fault.ErrInjectedRead) {
+		t.Fatalf("err = %v, want ErrInjectedRead", err)
+	}
+	rows := checkTSVShape(t, out.String())
+	if rows != stats.Segments {
+		t.Errorf("wrote %d rows but counted %d segments", rows, stats.Segments)
+	}
+}
+
+// TestMapStreamQuarantineSidecarWriteError: a sidecar that cannot be
+// written must not kill the stream; the sticky error surfaces at the
+// end (when nothing worse happened).
+func TestMapStreamQuarantineSidecarWriteError(t *testing.T) {
+	mapper, ds, _ := streamMapper(t)
+	in := badRecordInput(ds.Reads)
+	boom := errors.New("sidecar disk gone")
+	var out bytes.Buffer
+	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+		jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &failAfterWriter{n: 0, err: boom}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sidecar write error", err)
+	}
+	if stats.Reads != len(ds.Reads) {
+		t.Errorf("stats.Reads = %d, want %d (stream must finish despite sidecar failure)", stats.Reads, len(ds.Reads))
+	}
+	if rows := checkTSVShape(t, out.String()); rows != 2*len(ds.Reads) {
+		t.Errorf("wrote %d rows, want %d", rows, 2*len(ds.Reads))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,11 +1,16 @@
 package jem
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/seq"
 )
@@ -22,12 +27,23 @@ import (
 // watched live via jem-mapper -metrics-addr — and the returned Stats
 // can never disagree.
 type Stats struct {
-	// Reads is the number of records pulled from the input stream.
+	// Reads is the number of well-formed records pulled from the input
+	// stream (bad records are counted separately in BadRecords).
 	Reads int
 	// Segments is the number of end segments mapped (≤ 2 per read).
 	Segments int
 	// Mapped counts segments that hit a contig.
 	Mapped int
+	// BadRecords counts malformed or over-length records encountered;
+	// non-zero only under the skip and quarantine policies (the fail
+	// policy aborts on the first one).
+	BadRecords int
+	// Quarantined counts bad records handled under the quarantine
+	// policy (each one also produced a sidecar entry when a sidecar
+	// writer was configured).
+	Quarantined int
+	// WorkerPanics counts batches lost to a recovered worker panic.
+	WorkerPanics int
 	// PostingsScanned is the total number of sketch-table postings
 	// examined across all lookups — the dominant unit of query work.
 	PostingsScanned int64
@@ -41,6 +57,67 @@ type Stats struct {
 
 // StreamStats is the pre-pipelining name of Stats, kept as an alias.
 type StreamStats = Stats
+
+// BadRecordPolicy says what the streaming pipeline does when the
+// input yields a malformed or over-length record.
+type BadRecordPolicy uint8
+
+const (
+	// BadRecordFail aborts the stream on the first bad record — the
+	// default, and the pre-quarantine behavior.
+	BadRecordFail BadRecordPolicy = iota
+	// BadRecordSkip counts the bad record and continues with the next
+	// parseable record.
+	BadRecordSkip
+	// BadRecordQuarantine counts the bad record, appends an entry to
+	// the quarantine sidecar (when one is configured), and continues.
+	BadRecordQuarantine
+)
+
+// ParseBadRecordPolicy parses the jem-mapper -on-bad-record flag
+// values: "fail", "skip" or "quarantine".
+func ParseBadRecordPolicy(s string) (BadRecordPolicy, error) {
+	switch s {
+	case "fail":
+		return BadRecordFail, nil
+	case "skip":
+		return BadRecordSkip, nil
+	case "quarantine":
+		return BadRecordQuarantine, nil
+	}
+	return BadRecordFail, fmt.Errorf("jem: unknown bad-record policy %q (want fail, skip or quarantine)", s)
+}
+
+func (p BadRecordPolicy) String() string {
+	switch p {
+	case BadRecordSkip:
+		return "skip"
+	case BadRecordQuarantine:
+		return "quarantine"
+	default:
+		return "fail"
+	}
+}
+
+// StreamOptions configures the robustness behavior of
+// MapStreamContext. The zero value reproduces MapStream: fail on the
+// first bad record, no length limit, no sidecar.
+type StreamOptions struct {
+	// OnBadRecord selects the malformed-record policy.
+	OnBadRecord BadRecordPolicy
+	// Quarantine, when non-nil and OnBadRecord is BadRecordQuarantine,
+	// receives one tab-separated line per quarantined record:
+	// input line number, record ID ("*" when unknown), parse error.
+	// Sidecar write errors are sticky: the stream keeps running and
+	// the first sidecar error is reported when the run ends (unless a
+	// more important error happened).
+	Quarantine io.Writer
+	// MaxRecordLen, when > 0, treats records longer than this many
+	// bases as bad records: an over-length read in a long-read stream
+	// is usually an upstream concatenation bug, and mapping it would
+	// silently dilute sketch quality.
+	MaxRecordLen int
+}
 
 // streamBatch is the number of reads handed to a worker at once:
 // large enough to amortize channel traffic, small enough that the
@@ -56,68 +133,161 @@ type streamWork struct {
 type streamResult struct {
 	seq      int
 	mappings []Mapping
+	// err is set when the batch was lost to a recovered worker panic;
+	// mappings is nil then.
+	err error
+}
+
+// quarantineSidecar appends bad-record entries to the sidecar writer.
+// Write errors are sticky: after the first failure later entries are
+// dropped and the retained error surfaces when the stream ends. The
+// sidecar is only ever touched from the reader goroutine.
+type quarantineSidecar struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+func (q *quarantineSidecar) record(line int, id string, cause error) {
+	if q.w == nil || q.err != nil {
+		return
+	}
+	if id == "" {
+		id = "*"
+	}
+	b := q.buf[:0]
+	b = strconv.AppendInt(b, int64(line), 10)
+	b = append(b, '\t')
+	b = append(b, id...)
+	b = append(b, '\t')
+	b = append(b, cause.Error()...)
+	b = append(b, '\n')
+	q.buf = b
+	if _, err := q.w.Write(b); err != nil {
+		q.err = err
+	}
 }
 
 // MapStream maps long reads from a FASTA/FASTQ stream without loading
-// the whole file. The stream is pipelined: a reader goroutine batches
-// records, a worker pool maps batches concurrently with persistent
-// per-worker sessions, and the calling goroutine writes TSV rows in
-// input order as batches complete. It is the memory-bounded
+// the whole file. It is MapStreamContext with a background context and
+// default (fail-fast) stream options; see there for the pipeline and
+// error contracts.
+func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
+	return m.MapStreamContext(context.Background(), r, w, StreamOptions{})
+}
+
+// MapStreamContext maps long reads from a FASTA/FASTQ stream without
+// loading the whole file. The stream is pipelined: a reader goroutine
+// batches records, a worker pool maps batches concurrently with
+// persistent per-worker sessions, and the calling goroutine writes TSV
+// rows in input order as batches complete. It is the memory-bounded
 // counterpart of MapReads for production-sized read sets (the contig
 // index still lives in memory, as in the paper).
 //
-// A mid-stream read error does not discard work: every record read
-// before the error is still mapped and written, and counted in the
-// returned Stats, before the error is propagated. A write error stops
-// output but not accounting: the pipeline still drains and counts
-// every batch that was mapped, so Stats reflects the work actually
-// done.
+// Robustness contracts:
+//
+//   - Cancellation: when ctx is cancelled the reader stops pulling
+//     records, every batch already in flight is drained, mapped and
+//     written, and ctx.Err() is returned — partial output is flushed
+//     and fully accounted in Stats, never discarded.
+//   - A mid-stream read error does not discard work: every record read
+//     before the error is still mapped, written and counted before the
+//     error is propagated.
+//   - Bad records: under opts.OnBadRecord skip/quarantine, a malformed
+//     or over-length record is counted (Stats.BadRecords, and the
+//     obs registry's jem_stream_bad_records_total), optionally written
+//     to the quarantine sidecar, and the reader resynchronizes to the
+//     next record. Only structural errors (seq.RecordError) are
+//     skippable; I/O errors always abort the stream.
+//   - Worker panics are recovered and converted to per-batch errors:
+//     under the fail policy the first one is returned (after the
+//     pipeline drains); under skip/quarantine the batch's rows are
+//     lost but counted (Stats.WorkerPanics) and the stream continues.
+//     The process never crashes.
+//   - A write error stops output but not accounting: the pipeline
+//     still drains and counts every batch that was mapped, so Stats
+//     reflects the work actually done.
 //
 // Counters and wall times are recorded into the mapper's obs.Registry
 // (see Metrics); the returned Stats is the registry movement between
 // start and end of this call. Concurrent traffic on the same mapper
 // (another MapStream, MapReads) would fold into the same instruments,
 // so per-run Stats are only meaningful when runs don't overlap.
-func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
+func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
 	met := m.met
 	base := met.snapshot()
+	// Fault-injection points (no-ops unless a test armed them).
+	r = fault.Reader(r)
+	w = fault.Writer(w)
 	if _, err := io.WriteString(w, tsvHeader); err != nil {
 		return met.statsSince(base), err
 	}
 	workers := parallel.Workers(m.opts.Workers)
 	work := make(chan streamWork, workers)
 	results := make(chan streamResult, workers)
+	sidecar := &quarantineSidecar{}
+	if opts.OnBadRecord == BadRecordQuarantine {
+		sidecar.w = opts.Quarantine
+	}
 
 	// Reader: pull records and hand fixed-size batches to the workers.
-	// On a mid-stream error the partial batch is still flushed so
-	// already-read records reach the writer before the error returns.
+	// On a mid-stream error or cancellation the partial batch is still
+	// flushed so already-read records reach the writer before the
+	// error returns.
 	var readErr error
 	go func() {
 		defer close(work)
 		var readWall time.Duration
 		sr := seq.NewReader(r)
-		seqno := 0
+		seqno, nextIndex := 0, 0
 		batch := make([]Record, 0, streamBatch)
 		for {
+			if err := ctx.Err(); err != nil {
+				readErr = err
+				break
+			}
 			t0 := time.Now()
 			rec, err := sr.Read()
 			readWall += time.Since(t0)
-			if err != nil {
-				if err != io.EOF {
-					readErr = err
-				}
+			if err == io.EOF {
 				break
+			}
+			if err == nil && opts.MaxRecordLen > 0 && len(rec.Seq) > opts.MaxRecordLen {
+				err = &seq.RecordError{Line: sr.Line(), ID: rec.ID,
+					Msg: fmt.Sprintf("record length %d exceeds limit %d", len(rec.Seq), opts.MaxRecordLen)}
+			}
+			if err != nil {
+				if opts.OnBadRecord == BadRecordFail || !seq.IsRecordError(err) {
+					readErr = err
+					break
+				}
+				met.badRecords.Inc()
+				if opts.OnBadRecord == BadRecordQuarantine {
+					met.quarantined.Inc()
+					sidecar.record(sr.Line(), recordErrID(err), err)
+				}
+				t0 = time.Now()
+				rerr := sr.Resync()
+				readWall += time.Since(t0)
+				if rerr != nil {
+					if rerr != io.EOF {
+						readErr = rerr
+					}
+					break
+				}
+				continue
 			}
 			met.reads.Inc()
 			batch = append(batch, rec)
 			if len(batch) == streamBatch {
-				work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
+				work <- streamWork{seq: seqno, base: nextIndex, recs: batch}
 				seqno++
+				nextIndex += len(batch)
 				batch = make([]Record, 0, streamBatch)
 			}
 		}
 		if len(batch) > 0 {
-			work <- streamWork{seq: seqno, base: seqno * streamBatch, recs: batch}
+			work <- streamWork{seq: seqno, base: nextIndex, recs: batch}
 		}
 		// Recorded before close(work), which happens-before the workers
 		// exit and therefore before the writer's final snapshot.
@@ -128,7 +298,9 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 	// every batch the worker processes (sessions carry the lazy-update
 	// counter arrays, so reuse is what makes per-query cost O(hits)).
 	// Posting-scan counts flow into the registry per segment via the
-	// session's core instrumentation.
+	// session's core instrumentation. Panics inside a batch are
+	// recovered in mapStreamBatch; a worker never takes the process
+	// down.
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -136,15 +308,12 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 			var mapWall time.Duration
 			defer wg.Done()
 			defer func() { met.mapWall.Add(mapWall.Seconds()) }() // runs before wg.Done
-			sess := m.core.NewSession()
+			sess := m.core.NewSession().WithContext(ctx)
 			for item := range work {
 				t0 := time.Now()
-				out := make([]Mapping, 0, 2*len(item.recs))
-				for j := range item.recs {
-					out = m.appendSegmentMappings(out, sess, item.base+j, item.recs[j])
-				}
+				res := m.mapStreamBatch(sess, item)
 				mapWall += time.Since(t0)
-				results <- streamResult{seq: item.seq, mappings: out}
+				results <- res
 			}
 		}()
 	}
@@ -153,20 +322,61 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 		close(results)
 	}()
 
-	writeErr := m.drainStreamResults(w, results)
+	writeErr, batchErr := m.drainStreamResults(w, results, opts.OnBadRecord == BadRecordFail)
 
 	stats := met.statsSince(base)
-	if writeErr != nil {
+	switch {
+	case writeErr != nil:
 		return stats, writeErr
+	case batchErr != nil:
+		return stats, batchErr
+	case readErr != nil:
+		return stats, readErr
+	case sidecar.err != nil:
+		return stats, fmt.Errorf("jem: quarantine sidecar write failed: %w", sidecar.err)
 	}
-	return stats, readErr
+	return stats, nil
+}
+
+// recordErrID extracts the record ID from a seq.RecordError chain, ""
+// when unavailable.
+func recordErrID(err error) string {
+	var re *seq.RecordError
+	if errors.As(err, &re) {
+		return re.ID
+	}
+	return ""
+}
+
+// mapStreamBatch maps one batch, converting a panic anywhere in the
+// sketch/lookup path into a per-batch error instead of crashing the
+// process. The injected fault.WorkerPanic point lives here so tests
+// can prove the recovery path end to end.
+func (m *Mapper) mapStreamBatch(sess *core.Session, item streamWork) (res streamResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.met.panics.Inc()
+			res = streamResult{seq: item.seq, err: fmt.Errorf(
+				"jem: worker panic mapping batch %d (reads %d-%d): %v",
+				item.seq, item.base, item.base+len(item.recs)-1, r)}
+		}
+	}()
+	if _, ok := fault.Fire(fault.WorkerPanic); ok {
+		panic("injected worker panic")
+	}
+	out := make([]Mapping, 0, 2*len(item.recs))
+	for j := range item.recs {
+		out = m.appendSegmentMappings(out, sess, item.base+j, item.recs[j])
+	}
+	return streamResult{seq: item.seq, mappings: out}
 }
 
 // drainStreamResults is MapStream's writer stage (run on the calling
 // goroutine): reassemble input order and emit TSV rows. The results
-// channel is always drained fully, even after a write error, so the
-// pipeline goroutines never leak; the first write error is returned
-// and further writes are skipped while accounting continues.
+// channel is always drained fully, even after a write or batch error,
+// so the pipeline goroutines never leak; the first write error (and,
+// when failOnBatchErr, the first batch error) is returned and further
+// writes are skipped while accounting continues.
 //
 // pending is bounded by the pipeline depth, not the input size: a
 // missing batch `next` can only be overtaken by batches that are
@@ -176,24 +386,34 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 // stream; it cannot balloon memory.
 //
 //jem:hotpath
-func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult) error {
+func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult, failOnBatchErr bool) (writeErr, batchErr error) {
 	met := m.met
 	var (
-		writeErr  error
 		writeWall time.Duration
 		buf       = make([]byte, 0, 128)
 	)
-	pending := make(map[int][]Mapping)
+	pending := make(map[int]streamResult)
 	next := 0
 	for res := range results {
-		pending[res.seq] = res.mappings
+		pending[res.seq] = res
 		for {
-			ms, ok := pending[next]
+			cur, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
 			next++
+			if cur.err != nil {
+				// A panicked batch has no rows. Under the fail policy the
+				// first batch error becomes the run's error (after the
+				// drain); otherwise it was already counted and the stream
+				// moves on.
+				if failOnBatchErr && batchErr == nil {
+					batchErr = cur.err
+				}
+				continue
+			}
+			ms := cur.mappings
 			// Count every drained batch — the mapping work happened
 			// whether or not the rows can still be written — then skip
 			// only the write once a write error is sticky.
@@ -221,7 +441,7 @@ func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult) er
 		}
 	}
 	met.writeWall.Add(writeWall.Seconds())
-	return writeErr
+	return writeErr, batchErr
 }
 
 // appendSegmentMappings maps both end segments of one read and

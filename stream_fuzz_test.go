@@ -1,0 +1,61 @@
+package jem_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// fuzzStreamMapper builds one tiny mapper shared by every fuzz
+// execution (building per-exec would make the fuzzer useless).
+var fuzzStreamMapper = sync.OnceValue(func() *jem.Mapper {
+	contigs := []jem.Record{
+		{ID: "c1", Seq: bytes.Repeat([]byte("ACGTTGCAAC"), 30)},
+		{ID: "c2", Seq: bytes.Repeat([]byte("TTGACCATGG"), 30)},
+	}
+	opts := jem.Options{K: 8, W: 4, Trials: 4, SegmentLen: 50, Seed: 1}
+	m, err := jem.NewMapper(contigs, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+// FuzzMapStream feeds arbitrary — mostly corrupt and truncated —
+// FASTA/FASTQ bytes through the full streaming pipeline under both the
+// fail and quarantine policies. The pipeline must never panic, and
+// for in-memory input (no I/O errors possible) the quarantine policy
+// must always finish the stream: every error is either consumed as a
+// bad record or the input simply ends.
+func FuzzMapStream(f *testing.F) {
+	f.Add([]byte("@r1\nACGTTGCAACACGTTGCAAC\n+\nIIIIIIIIIIIIIIIIIIII\n"))
+	f.Add([]byte(">r1\nACGTTGCAACACGTTGCAAC\n"))
+	f.Add([]byte("@r1\nACGT\n+\n"))              // truncated final record
+	f.Add([]byte("@r1\nACGT\nIIII\n@r2\nAC\n"))  // missing '+' then truncation
+	f.Add([]byte(">a\n>b\nACGT\n>c"))            // empty record, header at EOF
+	f.Add([]byte("@\n\n+\n\n@@@\n@@@\nzz\n"))    // resync bait
+	f.Add([]byte("no header at all\nACGT\n"))    // sniff failure
+	f.Add([]byte{0, '>', 'x', '\n', 0xff, 0xfe}) // binary garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := fuzzStreamMapper()
+		// Fail policy: any error is acceptable, panics are not.
+		if _, err := m.MapStream(bytes.NewReader(data), io.Discard); err != nil {
+			_ = err.Error() // errors must render
+		}
+		// Quarantine policy over in-memory input: the stream must always
+		// reach EOF — structural damage is never fatal here.
+		var sidecar bytes.Buffer
+		stats, err := m.MapStreamContext(context.Background(), bytes.NewReader(data), io.Discard,
+			jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &sidecar, MaxRecordLen: 1 << 16})
+		if err != nil {
+			t.Fatalf("quarantine policy failed on in-memory input: %v\ninput: %q", err, data)
+		}
+		if stats.Quarantined != stats.BadRecords {
+			t.Fatalf("quarantined %d != bad %d", stats.Quarantined, stats.BadRecords)
+		}
+	})
+}
