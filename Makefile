@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix test test-short fault-test bench bench-smoke metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test bench bench-smoke metrics-demo fuzz repro repro-quick clean
 
-all: build vet lint test
+all: build vet lint api-check test
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ lint:
 lint-fix:
 	gofmt -s -w .
 	$(GO) run ./cmd/jem-vet -v ./...
+
+# Exported-API compatibility gate (cmd/jem-api, docs/API.md §5): the
+# public jem surface must match the committed golden listing. After a
+# deliberate API change, run `make api-update` and commit the diff.
+api-check:
+	$(GO) run ./cmd/jem-api -check docs/api_surface.txt
+
+api-update:
+	$(GO) run ./cmd/jem-api -update docs/api_surface.txt
 
 test:
 	$(GO) test ./...

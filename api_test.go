@@ -1,0 +1,265 @@
+package jem_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// smallTestOptions are cheap parameters for facade tests that do not
+// need the paper's defaults.
+func smallTestOptions() jem.Options {
+	return jem.Options{K: 12, W: 10, Trials: 12, SegmentLen: 500, Seed: 7}
+}
+
+// TestShardedFacadeByteIdenticalTSV is the facade-level equivalence
+// acceptance check: the WriteTSV output of sharded mappers is
+// byte-identical to the unsharded one for every shard count, both
+// freshly built and after a save/load round trip through JEMIDX05.
+func TestShardedFacadeByteIdenticalTSV(t *testing.T) {
+	ds := buildSmallDataset(t)
+	opts := smallTestOptions()
+	base, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	wantMaps, err := base.Map(context.Background(), ds.Reads, jem.MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jem.WriteTSV(&want, wantMaps); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 1, 2, 3, 8} {
+		opts := opts
+		opts.Shards = p
+		m, err := jem.NewMapper(ds.Contigs, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", p, err)
+		}
+		if p > 1 && m.Shards() != p {
+			t.Fatalf("Shards() = %d, want %d", m.Shards(), p)
+		}
+		maps, err := m.Map(context.Background(), ds.Reads, jem.MapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := jem.WriteTSV(&got, maps); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("shards=%d: TSV differs from unsharded output", p)
+		}
+		// Save/load round trip preserves both shard count and output.
+		var idx bytes.Buffer
+		if err := m.SaveIndex(&idx); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := jem.LoadMapper(bytes.NewReader(idx.Bytes()), ds.Contigs)
+		if err != nil {
+			t.Fatalf("shards=%d: load: %v", p, err)
+		}
+		if loaded.Shards() != m.Shards() {
+			t.Fatalf("shards=%d: loaded mapper has %d shards", p, loaded.Shards())
+		}
+		lmaps, err := loaded.Map(context.Background(), ds.Reads, jem.MapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Reset()
+		if err := jem.WriteTSV(&got, lmaps); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("shards=%d: TSV differs after index round trip", p)
+		}
+	}
+}
+
+// TestCanonicalDelegation pins the deprecation contract: the old
+// facade names return exactly what the canonical context-first methods
+// return.
+func TestCanonicalDelegation(t *testing.T) {
+	ds := buildSmallDataset(t)
+	m, err := jem.NewMapper(ds.Contigs, smallTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := m.Map(context.Background(), ds.Reads, jem.MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MapReads(ds.Reads); !reflect.DeepEqual(got, canonical) {
+		t.Fatal("MapReads diverges from Map")
+	}
+	if got, err := m.MapReadsContext(context.Background(), ds.Reads); err != nil || !reflect.DeepEqual(got, canonical) {
+		t.Fatalf("MapReadsContext diverges from Map (err=%v)", err)
+	}
+
+	var fa bytes.Buffer
+	if err := seqWriteFASTA(&fa, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	var out1, out2 bytes.Buffer
+	if _, err := m.Stream(context.Background(), bytes.NewReader(fa.Bytes()), &out1, jem.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MapStream(bytes.NewReader(fa.Bytes()), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("MapStream diverges from Stream")
+	}
+	// Per-call worker override must not change output either.
+	var out3 bytes.Buffer
+	if _, err := m.Stream(context.Background(), bytes.NewReader(fa.Bytes()), &out3, jem.StreamOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out3.Bytes(), out1.Bytes()) {
+		t.Fatal("Stream with Workers override diverges")
+	}
+}
+
+// seqWriteFASTA renders records as FASTA into w (tests only).
+func seqWriteFASTA(w *bytes.Buffer, recs []jem.Record) error {
+	for _, r := range recs {
+		w.WriteString(">")
+		w.WriteString(r.ID)
+		w.WriteString("\n")
+		w.Write(r.Seq)
+		w.WriteString("\n")
+	}
+	return nil
+}
+
+func TestOptionsValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		mod   func(*jem.Options)
+		field string
+	}{
+		{"workers", func(o *jem.Options) { o.Workers = -1 }, "Workers"},
+		{"segmentlen", func(o *jem.Options) { o.SegmentLen = 4 }, ""},
+		{"tilestride", func(o *jem.Options) { o.TileStride = -2 }, "TileStride"},
+		{"shards-negative", func(o *jem.Options) { o.Shards = -1 }, "Shards"},
+		{"shards-huge", func(o *jem.Options) { o.Shards = 1 << 20 }, "Shards"},
+	}
+	for _, tc := range cases {
+		opts := jem.DefaultOptions()
+		tc.mod(&opts)
+		err := opts.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid options accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, jem.ErrInvalidOptions) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidOptions", tc.name, err)
+		}
+		if tc.field != "" {
+			var oe *jem.OptionError
+			if !errors.As(err, &oe) || oe.Field != tc.field {
+				t.Errorf("%s: error %v is not an OptionError for field %s", tc.name, err, tc.field)
+			}
+		}
+		if _, nerr := jem.NewMapper(nil, opts); nerr == nil {
+			t.Errorf("%s: NewMapper accepted invalid options", tc.name)
+		}
+	}
+	if err := jem.DefaultOptions().Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	// Per-call option structs are validated by the canonical methods.
+	m, err := jem.NewMapper(nil, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map(context.Background(), nil, jem.MapOptions{Workers: -2}); !errors.Is(err, jem.ErrInvalidOptions) {
+		t.Errorf("Map accepted Workers=-2: %v", err)
+	}
+	var sink bytes.Buffer
+	if _, err := m.Stream(context.Background(), strings.NewReader(""), &sink, jem.StreamOptions{MaxRecordLen: -1}); !errors.Is(err, jem.ErrInvalidOptions) {
+		t.Errorf("Stream accepted MaxRecordLen=-1: %v", err)
+	}
+}
+
+func TestOpenBuildLoadRebuild(t *testing.T) {
+	ds := buildSmallDataset(t)
+	opts := smallTestOptions()
+	opts.Shards = 3
+	dir := t.TempDir()
+	idxPath := filepath.Join(dir, "jem.idx")
+
+	// Build path.
+	built, info, err := jem.Open(jem.OpenOptions{Contigs: ds.Contigs, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FromIndex || info.Rebuilt || info.IndexErr != nil {
+		t.Fatalf("build path reported %+v", info)
+	}
+	want := built.MapReads(ds.Reads)
+	if err := built.SaveIndexFile(idxPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load path.
+	loaded, info, err := jem.Open(jem.OpenOptions{Contigs: ds.Contigs, IndexPath: idxPath, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FromIndex || info.Rebuilt {
+		t.Fatalf("load path reported %+v", info)
+	}
+	if loaded.Shards() != 3 {
+		t.Fatalf("loaded mapper has %d shards, want 3", loaded.Shards())
+	}
+	if got := loaded.MapReads(ds.Reads); !reflect.DeepEqual(got, want) {
+		t.Fatal("loaded mapper maps differently")
+	}
+
+	// Corrupt the index; without the fallback the load fails...
+	raw, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(idxPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := jem.Open(jem.OpenOptions{Contigs: ds.Contigs, IndexPath: idxPath, Options: opts}); !errors.Is(err, jem.ErrIndexChecksum) {
+		t.Fatalf("corrupt load error = %v, want ErrIndexChecksum", err)
+	}
+	// ...and with it the mapper is rebuilt from the contigs.
+	rebuilt, info, err := jem.Open(jem.OpenOptions{
+		Contigs: ds.Contigs, IndexPath: idxPath, RebuildOnCorrupt: true, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Rebuilt || info.FromIndex || !errors.Is(info.IndexErr, jem.ErrIndexChecksum) {
+		t.Fatalf("rebuild path reported %+v", info)
+	}
+	if got := rebuilt.MapReads(ds.Reads); !reflect.DeepEqual(got, want) {
+		t.Fatal("rebuilt mapper maps differently")
+	}
+
+	// Error contracts: missing index file is NOT a rebuild trigger, and
+	// Open with neither source is an error.
+	if _, _, err := jem.Open(jem.OpenOptions{
+		Contigs: ds.Contigs, IndexPath: filepath.Join(dir, "absent.idx"), RebuildOnCorrupt: true, Options: opts,
+	}); err == nil {
+		t.Fatal("missing index silently rebuilt")
+	}
+	if _, _, err := jem.Open(jem.OpenOptions{}); err == nil {
+		t.Fatal("Open with neither contigs nor index succeeded")
+	}
+}

@@ -1,0 +1,209 @@
+// Command jem-api prints the exported API surface of the public jem
+// package as a stable, sorted, one-declaration-per-line listing. CI
+// diffs it against the committed golden file docs/api_surface.txt
+// (`make api-check`), so removing or changing an exported name fails
+// the build until the golden file is deliberately regenerated
+// (`make api-update`). See docs/API.md §5 for the policy.
+//
+// Usage:
+//
+//	jem-api                 # print the surface to stdout
+//	jem-api -check golden   # exit 1 with a diff if surface != golden
+//	jem-api -update golden  # rewrite golden with the current surface
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		check  = flag.String("check", "", "compare the surface against this golden file; non-empty diff exits 1")
+		update = flag.String("update", "", "write the surface to this golden file")
+		pkg    = flag.String("pkg", ".", "package pattern to list (default: the public jem package)")
+	)
+	flag.Parse()
+	if err := run(*pkg, *check, *update); err != nil {
+		fmt.Fprintf(os.Stderr, "jem-api: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(pattern, check, update string) error {
+	pkgs, err := lint.Load(".", pattern)
+	if err != nil {
+		return err
+	}
+	if len(pkgs) != 1 {
+		return fmt.Errorf("pattern %q matched %d packages, want exactly 1", pattern, len(pkgs))
+	}
+	got := Surface(pkgs[0].Types)
+	switch {
+	case update != "":
+		return os.WriteFile(update, []byte(got), 0o644)
+	case check != "":
+		want, err := os.ReadFile(check)
+		if err != nil {
+			return fmt.Errorf("%v (run `make api-update` to create the golden file)", err)
+		}
+		if diff := surfaceDiff(string(want), got); diff != "" {
+			return fmt.Errorf("exported API surface differs from %s:\n%s\n"+
+				"if this change is intentional, run `make api-update` and commit the result", check, diff)
+		}
+		return nil
+	default:
+		_, err := os.Stdout.WriteString(got)
+		return err
+	}
+}
+
+// Surface renders the exported declarations of pkg, one per line,
+// sorted. Lines are self-contained type signatures, so any change to
+// an exported name, field, or signature changes the listing.
+func Surface(pkg *types.Package) string {
+	// Qualify foreign packages by name, never the package under
+	// inspection, so the listing is path-independent.
+	qual := func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s", name, types.TypeString(obj.Type(), qual)))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s", name, types.TypeString(obj.Type(), qual)))
+		case *types.Func:
+			lines = append(lines, "func "+name+strings.TrimPrefix(types.TypeString(obj.Type(), qual), "func"))
+		case *types.TypeName:
+			lines = append(lines, typeLines(obj, qual)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// typeLines renders one exported named type: its kind line, exported
+// struct fields, and exported methods (pointer and value receivers).
+func typeLines(obj *types.TypeName, qual types.Qualifier) []string {
+	name := obj.Name()
+	var lines []string
+	if obj.IsAlias() {
+		return []string{fmt.Sprintf("type %s = %s", name, types.TypeString(obj.Type(), qual))}
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return []string{fmt.Sprintf("type %s %s", name, types.TypeString(obj.Type().Underlying(), qual))}
+	}
+	switch under := named.Underlying().(type) {
+	case *types.Struct:
+		lines = append(lines, fmt.Sprintf("type %s struct", name))
+		for i := 0; i < under.NumFields(); i++ {
+			f := under.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("field %s.%s %s", name, f.Name(), types.TypeString(f.Type(), qual)))
+		}
+	case *types.Interface:
+		lines = append(lines, fmt.Sprintf("type %s interface", name))
+		for i := 0; i < under.NumExplicitMethods(); i++ {
+			m := under.ExplicitMethod(i)
+			if !m.Exported() {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("method %s.%s%s", name, m.Name(),
+				strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+		}
+	default:
+		lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(under, qual)))
+	}
+	// The pointer method set includes the value method set.
+	mset := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < mset.Len(); i++ {
+		m := mset.At(i).Obj()
+		if !m.Exported() || m.Pkg() != obj.Pkg() {
+			continue
+		}
+		recv := name
+		if _, isPtr := mset.At(i).Recv().(*types.Pointer); isPtr || isPointerReceiver(m) {
+			recv = "*" + name
+		}
+		lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, m.Name(),
+			strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+	}
+	return lines
+}
+
+// isPointerReceiver reports whether the method was declared on a
+// pointer receiver (the method-set view erases this).
+func isPointerReceiver(m types.Object) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// surfaceDiff returns a minimal line diff ("-" removed from want, "+"
+// added in got), empty when equal.
+func surfaceDiff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wantSet := lineSet(want)
+	gotSet := lineSet(got)
+	var buf bytes.Buffer
+	for _, l := range sortedLines(want) {
+		if !gotSet[l] {
+			fmt.Fprintf(&buf, "- %s\n", l)
+		}
+	}
+	for _, l := range sortedLines(got) {
+		if !wantSet[l] {
+			fmt.Fprintf(&buf, "+ %s\n", l)
+		}
+	}
+	if buf.Len() == 0 {
+		return "(only ordering or blank lines differ — regenerate with `make api-update`)"
+	}
+	return strings.TrimRight(buf.String(), "\n")
+}
+
+func lineSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+func sortedLines(s string) []string {
+	var lines []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

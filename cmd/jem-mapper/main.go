@@ -49,6 +49,7 @@ func main() {
 		l           = flag.Int("l", 1000, "end segment / interval length (bp)")
 		seed        = flag.Int64("seed", 1, "hash family seed")
 		workers     = flag.Int("workers", 0, "goroutines (0 = all cores)")
+		shards      = flag.Int("shards", 0, "partition the sketch index into this many shards (0/1 = unsharded; sharded and unsharded output is identical)")
 		ranks       = flag.Int("p", 0, "simulated MPI ranks (0 = shared-memory run)")
 		outPath     = flag.String("o", "", "output TSV path (default stdout)")
 		paf         = flag.Bool("paf", false, "write PAF with positional estimates instead of TSV")
@@ -82,7 +83,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
 		os.Exit(2)
 	}
-	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers}
+	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers, Shards: *shards}
 	cfg := runConfig{
 		contigPath: flag.Arg(0), readPath: flag.Arg(1),
 		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
@@ -272,40 +273,35 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 	return mapErr
 }
 
-// buildMapper loads the index when -load-index is given (falling back
-// to a rebuild from the contigs when the file is corrupt) and sketches
-// the contigs otherwise.
+// buildMapper constructs the mapper through jem.Open: it loads the
+// index when -load-index is given (falling back to a rebuild from the
+// contigs when the file is corrupt — never serving a corrupt index)
+// and sketches the contigs otherwise.
 func buildMapper(cfg runConfig, contigs []jem.Record, reg *obs.Registry) (*jem.Mapper, error) {
-	if cfg.loadIndex != "" {
-		mapper, err := loadIndexMapper(cfg.loadIndex, contigs, reg)
-		if err == nil {
-			fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
-			return mapper, nil
-		}
-		if !errors.Is(err, jem.ErrIndexChecksum) {
-			return nil, err
-		}
-		// A checksum mismatch means on-disk corruption of a once-valid
-		// index. The contigs are in hand, so rebuild rather than die —
-		// but never serve the corrupt file.
+	cfg.opts.Metrics = reg
+	mapper, info, err := jem.Open(jem.OpenOptions{
+		Contigs:          contigs,
+		IndexPath:        cfg.loadIndex,
+		RebuildOnCorrupt: true,
+		Options:          cfg.opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case info.FromIndex:
+		fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
+	case info.Rebuilt:
 		fmt.Fprintf(os.Stderr, "warning: index %s is corrupt (%v); rebuilding from contigs\n",
-			cfg.loadIndex, err)
+			cfg.loadIndex, info.IndexErr)
+		fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
+	default:
+		fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
 	}
-	mapper, err := jem.NewMapper(contigs, cfg.opts)
-	if err != nil {
-		return nil, err
+	if sh := mapper.Shards(); sh > 1 {
+		fmt.Fprintf(os.Stderr, "serving %d index shards\n", sh)
 	}
-	fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
 	return mapper, nil
-}
-
-func loadIndexMapper(path string, contigs []jem.Record, reg *obs.Registry) (*jem.Mapper, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close() // read-only; decode errors carry the signal
-	return jem.LoadMapperObserved(f, contigs, reg)
 }
 
 // printMapSummary renders the run epilogue from the registry — the

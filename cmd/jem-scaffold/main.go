@@ -71,7 +71,7 @@ func runOriented(contigPath, readPath string, minSupport int, agpOut string) err
 	if err != nil {
 		return err
 	}
-	mapper, err := jem.NewMapper(contigs, jem.DefaultOptions())
+	mapper, _, err := jem.Open(jem.OpenOptions{Contigs: contigs, Options: jem.DefaultOptions()})
 	if err != nil {
 		return err
 	}

@@ -76,6 +76,7 @@ type Mapper struct {
 	sk       *sketch.Sketcher
 	table    *sketch.Table
 	frozen   *sketch.FrozenTable
+	sharded  *sketch.ShardedFrozen
 	subjects []SubjectMeta
 	sealed   bool
 	// met, when non-nil, receives per-query observations from every
@@ -117,6 +118,62 @@ func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) {
 	m.frozen = ft
 }
 
+// Sharded exposes the sharded frozen table, nil unless the mapper
+// serves the sharded backend (SealSharded, SetSharded, or a JEMIDX05
+// index load).
+func (m *Mapper) Sharded() *sketch.ShardedFrozen { return m.sharded }
+
+// Shards returns the number of serving shards: P for a sharded
+// mapper, 1 for the monolithic table forms.
+func (m *Mapper) Shards() int {
+	if m.sharded != nil {
+		return m.sharded.NumShards()
+	}
+	return 1
+}
+
+// SetSharded installs a sharded frozen table; subsequent lookups
+// scatter-gather across its shards. Like SetFrozen it must run before
+// sessions are issued, and clearing the only table of a sealed mapper
+// is rejected.
+func (m *Mapper) SetSharded(sf *sketch.ShardedFrozen) {
+	if sf == nil && m.table == nil && m.frozen == nil {
+		panic("core: cannot clear the sharded table of a sealed mapper (no other table remains)")
+	}
+	m.sharded = sf
+	m.enableShardMetrics()
+}
+
+// SealSharded is Seal for the sharded serving backend: the mutable
+// table is partitioned into `shards` frozen shards built concurrently
+// (workers ≤0 means GOMAXPROCS), then dropped. Sharded and monolithic
+// sealing produce mappers with byte-identical query results; sharding
+// parallelizes the freeze, the index save/load, and bounds per-shard
+// memory. SealSharded is idempotent on an already-sharded mapper and
+// panics on a mapper sealed with the monolithic table (there is no
+// mutable table left to partition).
+func (m *Mapper) SealSharded(shards, workers int) {
+	m.SealShardedTraced(shards, workers, nil)
+}
+
+// SealShardedTraced is SealSharded with a per-shard build hook (see
+// sketch.FreezeShardedTraced); the facade uses it to attach per-shard
+// build spans.
+func (m *Mapper) SealShardedTraced(shards, workers int, trace func(shard int, fn func())) {
+	if m.sealed {
+		if m.sharded != nil {
+			return
+		}
+		panic("core: SealSharded on a mapper already sealed with a monolithic table")
+	}
+	if m.sharded == nil {
+		m.sharded = m.table.FreezeShardedTraced(shards, workers, trace)
+	}
+	m.table = nil
+	m.sealed = true
+	m.enableShardMetrics()
+}
+
 // Seal freezes the mapper for serving: the mutable hash-map table is
 // converted into the frozen sorted-array form (unless SetFrozen
 // already installed one) and then dropped, so every subsequent lookup
@@ -126,7 +183,7 @@ func (m *Mapper) Seal() {
 	if m.sealed {
 		return
 	}
-	if m.frozen == nil {
+	if m.frozen == nil && m.sharded == nil {
 		m.frozen = m.table.Freeze()
 	}
 	m.table = nil
@@ -139,6 +196,9 @@ func (m *Mapper) Sealed() bool { return m.sealed }
 // Entries returns the total posting count of the active table (frozen
 // after Seal/SetFrozen, mutable before).
 func (m *Mapper) Entries() int {
+	if m.sharded != nil {
+		return m.sharded.Entries()
+	}
 	if m.frozen != nil {
 		return m.frozen.Entries()
 	}
@@ -158,8 +218,11 @@ func (m *Mapper) mutationGuard(op string) {
 	}
 }
 
-// lookup dispatches to the frozen table when one is installed.
+// lookup dispatches to the active table: sharded, frozen, or mutable.
 func (m *Mapper) lookup(t int, w sketch.Word) []sketch.Posting {
+	if m.sharded != nil {
+		return m.sharded.Lookup(t, w)
+	}
 	if m.frozen != nil {
 		return m.frozen.Lookup(t, w)
 	}
@@ -257,6 +320,24 @@ type Session struct {
 	cand    []int32            // subjects touched by the current query
 	plists  [][]sketch.Posting // per-trial postings of the current query
 	scanned int64              // postings examined across all queries
+
+	// Scatter-gather scratch for the sharded backend: per-shard lazy
+	// counters (same ⟨count, qid⟩ scheme as the global arrays) that a
+	// query's per-shard scans fill independently and the gather step
+	// merges into the global counters. shardTrials groups the query's
+	// T trials by destination shard; shardTouched lists the shards the
+	// current query actually routed to.
+	shards       []shardCounters
+	shardTrials  [][]int32
+	shardTouched []int32
+}
+
+// shardCounters is one shard's lazy-update counter array (§III-C,
+// applied per shard). Arrays are allocated on the shard's first touch.
+type shardCounters struct {
+	count []int32
+	lastq []int32
+	cand  []int32
 }
 
 // NewSession creates a mapping session over the mapper's current
@@ -328,11 +409,43 @@ func (s *Session) mapSegment(segment []byte) (Hit, bool) {
 	if words == nil {
 		return Hit{Subject: -1}, false
 	}
+	s.scanWords(words, false)
+	if len(s.cand) == 0 {
+		return Hit{Subject: -1}, false
+	}
+	return s.bestCandidate(), true
+}
+
+// scanWords runs the counting pass for one query: each of the T
+// per-trial words is looked up and every posting votes for its subject
+// through the lazy-update counters, leaving the query's candidate set
+// in s.cand/s.count. keepLists additionally records each trial's
+// posting list in s.plists[t] for the positional offset-vote pass.
+// On a sharded mapper the pass scatter-gathers (scanShardedWords);
+// either path leaves identical counter state.
+//
+//jem:hotpath
+func (s *Session) scanWords(words []sketch.Word, keepLists bool) {
 	s.qid++
 	qid := s.qid
 	s.cand = s.cand[:0]
+	if keepLists {
+		if cap(s.plists) < len(words) {
+			s.plists = make([][]sketch.Posting, len(words))
+		}
+		s.plists = s.plists[:len(words)]
+	} else {
+		s.plists = s.plists[:0]
+	}
+	if sf := s.m.sharded; sf != nil && sf.NumShards() > 1 {
+		s.scanShardedWords(sf, words, keepLists)
+		return
+	}
 	for t, w := range words {
 		ps := s.m.lookup(t, w)
+		if keepLists {
+			s.plists[t] = ps
+		}
 		s.scanned += int64(len(ps))
 		for _, p := range ps {
 			subj := p.Subject
@@ -344,9 +457,104 @@ func (s *Session) mapSegment(segment []byte) (Hit, bool) {
 			s.count[subj]++
 		}
 	}
-	if len(s.cand) == 0 {
-		return Hit{Subject: -1}, false
+}
+
+// scanShardedWords is the scatter-gather counting pass: the query's T
+// ⟨trial, word⟩ probes are grouped by destination shard, each touched
+// shard is scanned with its own lazy-update counters, and the gather
+// step folds the per-shard counts into the global counters. Because
+// every posting list lives in exactly one shard, the merged counts are
+// identical to a monolithic scan's, and the best-hit selection over
+// them is order-independent — so sharded and unsharded mapping results
+// are byte-identical for any shard count.
+//
+//jem:hotpath
+func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word, keepLists bool) {
+	p := sf.NumShards()
+	if len(s.shardTrials) < p {
+		s.shardTrials = make([][]int32, p)
 	}
+	touched := s.shardTouched[:0]
+	// Scatter: route each trial's probe to the shard owning its word.
+	for t, w := range words {
+		sd := sketch.ShardOf(t, w, p)
+		if len(s.shardTrials[sd]) == 0 {
+			touched = append(touched, int32(sd))
+		}
+		s.shardTrials[sd] = append(s.shardTrials[sd], int32(t))
+	}
+	qid := s.qid
+	// Per-shard scans: each shard's probes run against that shard's
+	// frozen table only, counting into the shard's own lazy counters.
+	for _, sd32 := range touched {
+		sd := int(sd32)
+		sc := s.shardCounter(sd)
+		sc.cand = sc.cand[:0]
+		ft := sf.Shard(sd)
+		var scanned int64
+		for _, t32 := range s.shardTrials[sd] {
+			t := int(t32)
+			ps := ft.Lookup(t, words[t])
+			if keepLists {
+				s.plists[t] = ps
+			}
+			scanned += int64(len(ps))
+			for _, p := range ps {
+				subj := p.Subject
+				if sc.lastq[subj] != qid {
+					sc.lastq[subj] = qid
+					sc.count[subj] = 0
+					sc.cand = append(sc.cand, subj)
+				}
+				sc.count[subj]++
+			}
+		}
+		s.scanned += scanned
+		if s.met != nil {
+			s.met.observeShard(sd, scanned)
+		}
+		s.shardTrials[sd] = s.shardTrials[sd][:0]
+	}
+	// Gather: merge per-shard counts into the global counter array.
+	for _, sd32 := range touched {
+		sc := &s.shards[sd32]
+		for _, subj := range sc.cand {
+			if s.lastq[subj] != qid {
+				s.lastq[subj] = qid
+				s.count[subj] = 0
+				s.cand = append(s.cand, subj)
+			}
+			s.count[subj] += sc.count[subj]
+		}
+	}
+	s.shardTouched = touched[:0]
+}
+
+// shardCounter returns shard sd's counter set, allocating the arrays
+// on the shard's first touch by this session.
+func (s *Session) shardCounter(sd int) *shardCounters {
+	if len(s.shards) == 0 {
+		s.shards = make([]shardCounters, s.m.sharded.NumShards())
+	}
+	sc := &s.shards[sd]
+	if sc.lastq == nil {
+		n := len(s.m.subjects)
+		sc.count = make([]int32, n)
+		sc.lastq = make([]int32, n)
+		for i := range sc.lastq {
+			sc.lastq[i] = -1
+		}
+	}
+	return sc
+}
+
+// bestCandidate picks the winner from the current query's candidate
+// set: highest count, ties toward the lower subject id — a choice
+// independent of candidate order, which keeps sharded and unsharded
+// scans byte-identical.
+//
+//jem:hotpath
+func (s *Session) bestCandidate() Hit {
 	best := Hit{Subject: -1, Count: 0}
 	for _, subj := range s.cand {
 		c := s.count[subj]
@@ -354,7 +562,7 @@ func (s *Session) mapSegment(segment []byte) (Hit, bool) {
 			best = Hit{Subject: subj, Count: c}
 		}
 	}
-	return best, true
+	return best
 }
 
 // PositionalHit extends Hit with an approximate target location: the
@@ -401,37 +609,14 @@ func (s *Session) mapSegmentPositional(segment []byte) (PositionalHit, bool) {
 	if words == nil {
 		return PositionalHit{Hit: Hit{Subject: -1}, TargetStart: -1}, false
 	}
-	s.qid++
-	qid := s.qid
-	s.cand = s.cand[:0]
-	// Cache each trial's posting list during the counting pass so the
-	// offset-vote pass below can reuse the slices instead of paying a
-	// second round of T table lookups.
-	s.plists = s.plists[:0]
-	for t, w := range words {
-		ps := s.m.lookup(t, w)
-		s.plists = append(s.plists, ps)
-		s.scanned += int64(len(ps))
-		for _, p := range ps {
-			subj := p.Subject
-			if s.lastq[subj] != qid {
-				s.lastq[subj] = qid
-				s.count[subj] = 0
-				s.cand = append(s.cand, subj)
-			}
-			s.count[subj]++
-		}
-	}
+	// keepLists caches each trial's posting list during the counting
+	// pass so the offset-vote pass below can reuse the slices instead
+	// of paying a second round of T table lookups.
+	s.scanWords(words, true)
 	if len(s.cand) == 0 {
 		return PositionalHit{Hit: Hit{Subject: -1}, TargetStart: -1}, false
 	}
-	best := Hit{Subject: -1, Count: 0}
-	for _, subj := range s.cand {
-		c := s.count[subj]
-		if c > best.Count || (c == best.Count && subj < best.Subject) {
-			best = Hit{Subject: subj, Count: c}
-		}
-	}
+	best := s.bestCandidate()
 	// Second pass: offset votes for the winning subject under both
 	// strand hypotheses. A forward pair satisfies anchor − qpos ≈
 	// segment start on the subject; a reverse pair satisfies
@@ -504,22 +689,7 @@ func (s *Session) mapSegmentTopK(segment []byte, k int) []Hit {
 	if words == nil || k <= 0 {
 		return nil
 	}
-	s.qid++
-	qid := s.qid
-	s.cand = s.cand[:0]
-	for t, w := range words {
-		ps := s.m.lookup(t, w)
-		s.scanned += int64(len(ps))
-		for _, p := range ps {
-			subj := p.Subject
-			if s.lastq[subj] != qid {
-				s.lastq[subj] = qid
-				s.count[subj] = 0
-				s.cand = append(s.cand, subj)
-			}
-			s.count[subj]++
-		}
-	}
+	s.scanWords(words, false)
 	if len(s.cand) == 0 {
 		return nil
 	}

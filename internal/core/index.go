@@ -13,23 +13,36 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/minimizer"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sketch"
 )
 
-// Index format magics. JEMIDX04 appends a CRC32 (IEEE) footer over
-// everything before it (magic + body), so on-disk corruption — a
-// flipped bit, a truncated tail, a partial overwrite — is detected at
-// load time instead of silently serving wrong mappings. JEMIDX03 added
-// the table-kind byte after the subject metadata so a sealed mapper
-// serializes its frozen sorted-array table directly; JEMIDX02 bodies
-// are the mutable-table encoding with no kind byte. Both legacy
-// formats remain readable (without checksum protection).
+// Index format magics. JEMIDX05 is the sharded layout: a CRC-footed
+// manifest (params, subjects, shard directory with per-shard payload
+// lengths and CRC32s) followed by the concatenated per-shard frozen
+// table payloads, so shards verify and decode in parallel and a load
+// can pinpoint WHICH shard is corrupt. JEMIDX04 appends a CRC32 (IEEE)
+// footer over everything before it (magic + body), so on-disk
+// corruption — a flipped bit, a truncated tail, a partial overwrite —
+// is detected at load time instead of silently serving wrong mappings.
+// JEMIDX03 added the table-kind byte after the subject metadata so a
+// sealed mapper serializes its frozen sorted-array table directly;
+// JEMIDX02 bodies are the mutable-table encoding with no kind byte.
+// Every older format remains readable (03/02 without checksum
+// protection) and loads as a single-shard index.
 var (
+	indexMagicV5      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '5'}
 	indexMagic        = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '4'}
 	indexMagicV3      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '3'}
 	indexMagicLegacy  = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '2'}
 	errIndexTruncated = errors.New("core: index truncated: missing checksum footer")
 )
+
+// maxShardPayload bounds a single shard's serialized size as declared
+// by an untrusted manifest; payloads are read with io.CopyN so a
+// corrupt length fails at EOF rather than driving a giant allocation.
+const maxShardPayload = 1 << 36
 
 // ErrIndexChecksum marks a JEMIDX04 index whose body does not match
 // its checksum footer — the file was corrupted after it was written.
@@ -45,12 +58,16 @@ const (
 
 // WriteIndex serializes the mapper — sketch parameters, subject
 // metadata and the ACTIVE sketch table — so an index built once can be
-// reused across runs (jem-mapper -save-index / -load-index). The
-// active table is the frozen one when Seal or SetFrozen installed it,
-// and the mutable hash table otherwise. The format is little-endian
-// binary, stable across platforms, and ends with a CRC32 footer over
-// the whole preceding byte stream.
+// reused across runs (jem-mapper -save-index / -load-index). A sharded
+// mapper writes the JEMIDX05 sharded layout (shard payloads encoded in
+// parallel); otherwise the active table is the frozen one when Seal or
+// SetFrozen installed it, and the mutable hash table otherwise, in the
+// JEMIDX04 layout. Both formats are little-endian binary, stable
+// across platforms, and checksum-protected.
 func (m *Mapper) WriteIndex(w io.Writer) error {
+	if m.sharded != nil {
+		return m.writeShardedIndex(w)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	// Everything except the footer itself feeds the checksum; the
 	// MultiWriter keeps hashing off the encoder code paths entirely.
@@ -68,9 +85,9 @@ func (m *Mapper) WriteIndex(w io.Writer) error {
 	return bw.Flush()
 }
 
-// writeIndexBody encodes params, subject metadata, table-kind byte and
-// the active table — the checksummed payload between magic and footer.
-func (m *Mapper) writeIndexBody(w io.Writer) error {
+// writeIndexMeta encodes the params and subject metadata shared by the
+// JEMIDX04 body and the JEMIDX05 manifest.
+func (m *Mapper) writeIndexMeta(w io.Writer) error {
 	p := m.sk.Params()
 	for _, v := range []uint64{
 		uint64(p.K), uint64(p.W), uint64(p.T), uint64(p.L),
@@ -94,6 +111,15 @@ func (m *Mapper) writeIndexBody(w io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// writeIndexBody encodes params, subject metadata, table-kind byte and
+// the active table — the checksummed payload between magic and footer.
+func (m *Mapper) writeIndexBody(w io.Writer) error {
+	if err := m.writeIndexMeta(w); err != nil {
+		return err
+	}
 	if m.frozen != nil {
 		if _, err := w.Write([]byte{tableKindFrozen}); err != nil {
 			return err
@@ -104,6 +130,64 @@ func (m *Mapper) writeIndexBody(w io.Writer) error {
 		return err
 	}
 	return m.table.Encode(w)
+}
+
+// writeShardedIndex emits the JEMIDX05 layout:
+//
+//	magic "JEMIDX05"
+//	manifest: params (6×u64), subjects, shard count (u32),
+//	          per shard {payload length u64, payload CRC32 u32}
+//	manifest CRC32 (u32, over magic+manifest)
+//	per-shard payloads (FrozenTable.Encode), concatenated
+//
+// Shard payloads are encoded concurrently; the manifest's per-shard
+// CRCs let the loader verify and decode shards in parallel and report
+// exactly which shard a corruption hit.
+func (m *Mapper) writeShardedIndex(w io.Writer) error {
+	sf := m.sharded
+	n := sf.NumShards()
+	payloads := make([][]byte, n)
+	encErrs := make([]error, n)
+	parallel.ForEach(n, 0, func(i int) {
+		var buf bytes.Buffer
+		encErrs[i] = sf.Shard(i).Encode(&buf)
+		payloads[i] = buf.Bytes()
+	})
+	for i, err := range encErrs {
+		if err != nil {
+			return fmt.Errorf("core: encoding shard %d: %w", i, err)
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h := crc32.NewIEEE()
+	hw := io.MultiWriter(bw, h)
+	if _, err := hw.Write(indexMagicV5[:]); err != nil {
+		return err
+	}
+	if err := m.writeIndexMeta(hw); err != nil {
+		return err
+	}
+	if err := binary.Write(hw, binary.LittleEndian, uint32(n)); err != nil {
+		return err
+	}
+	for _, pl := range payloads {
+		if err := binary.Write(hw, binary.LittleEndian, uint64(len(pl))); err != nil {
+			return err
+		}
+		if err := binary.Write(hw, binary.LittleEndian, crc32.ChecksumIEEE(pl)); err != nil {
+			return err
+		}
+	}
+	// The manifest footer is NOT part of its own checksum.
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return err
+	}
+	for _, pl := range payloads {
+		if _, err := bw.Write(pl); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteIndexFile writes the index to path atomically: the bytes go to
@@ -146,17 +230,27 @@ func (m *Mapper) WriteIndexFile(path string) (retErr error) {
 }
 
 // ReadIndex deserializes a mapper previously written by WriteIndex.
-// The current JEMIDX04 format is checksum-verified before any decoding
-// (a mismatch returns an error wrapping ErrIndexChecksum); legacy
-// JEMIDX03 and JEMIDX02 files are accepted without verification. A
-// frozen-table index loads as a sealed mapper.
+// JEMIDX05 (sharded) and JEMIDX04 are checksum-verified before any
+// decoding (a mismatch returns an error wrapping ErrIndexChecksum);
+// legacy JEMIDX03 and JEMIDX02 files are accepted without
+// verification. A frozen- or sharded-table index loads as a sealed
+// mapper.
 func ReadIndex(r io.Reader) (*Mapper, error) {
+	return ReadIndexObserved(r, nil)
+}
+
+// ReadIndexObserved is ReadIndex with an optional span under which the
+// per-shard decodes of a JEMIDX05 index are timed (one child span per
+// shard); sp may be nil.
+func ReadIndexObserved(r io.Reader, sp *obs.Span) (*Mapper, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading index magic: %w", err)
 	}
 	switch magic {
+	case indexMagicV5:
+		return readShardedIndex(br, sp)
 	case indexMagic:
 		// Verify the footer before decoding anything: buffer the rest of
 		// the stream (the decoded table dwarfs the file, so this does not
@@ -185,14 +279,15 @@ func ReadIndex(r io.Reader) (*Mapper, error) {
 	}
 }
 
-// readIndexBody decodes the params/subjects/table payload shared by
-// every format version. legacy selects the JEMIDX02 body, which lacks
-// the table-kind byte.
-func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
+// readIndexMeta decodes the params and subject metadata shared by the
+// JEMIDX04 body and the JEMIDX05 manifest, returning a fresh mapper
+// carrying them. It reads exact lengths only (no lookahead), so it is
+// safe to run through a checksumming TeeReader.
+func readIndexMeta(r io.Reader) (*Mapper, sketch.Params, error) {
 	var raw [6]uint64
 	for i := range raw {
-		if err := binary.Read(br, binary.LittleEndian, &raw[i]); err != nil {
-			return nil, fmt.Errorf("core: reading index params: %w", err)
+		if err := binary.Read(r, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, sketch.Params{}, fmt.Errorf("core: reading index params: %w", err)
 		}
 	}
 	p := sketch.Params{
@@ -201,37 +296,48 @@ func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
 	}
 	p.Order = minimizer.Ordering(raw[5])
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("core: index carries invalid params: %w", err)
+		return nil, p, fmt.Errorf("core: index carries invalid params: %w", err)
 	}
 	m, err := NewMapper(p)
 	if err != nil {
-		return nil, err
+		return nil, p, err
 	}
 	var nsubj uint32
-	if err := binary.Read(br, binary.LittleEndian, &nsubj); err != nil {
-		return nil, err
+	if err := binary.Read(r, binary.LittleEndian, &nsubj); err != nil {
+		return nil, p, err
 	}
 	if nsubj > 1<<28 {
-		return nil, fmt.Errorf("core: implausible subject count %d", nsubj)
+		return nil, p, fmt.Errorf("core: implausible subject count %d", nsubj)
 	}
 	m.subjects = make([]SubjectMeta, 0, min32(nsubj, 1<<16))
 	for i := uint32(0); i < nsubj; i++ {
 		var nameLen uint32
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return nil, err
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, p, err
 		}
 		if nameLen > 1<<16 {
-			return nil, fmt.Errorf("core: implausible subject name length %d", nameLen)
+			return nil, p, fmt.Errorf("core: implausible subject name length %d", nameLen)
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, p, err
 		}
 		var length uint32
-		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
-			return nil, err
+		if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
+			return nil, p, err
 		}
 		m.subjects = append(m.subjects, SubjectMeta{Name: string(name), Length: int32(length)})
+	}
+	return m, p, nil
+}
+
+// readIndexBody decodes the params/subjects/table payload shared by
+// the pre-sharding format versions. legacy selects the JEMIDX02 body,
+// which lacks the table-kind byte.
+func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
+	m, p, err := readIndexMeta(br)
+	if err != nil {
+		return nil, err
 	}
 	kind := byte(tableKindMutable)
 	if !legacy {
@@ -265,6 +371,108 @@ func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
 		return nil, fmt.Errorf("core: unknown table kind %d", kind)
 	}
 	return m, nil
+}
+
+// readShardedIndex decodes a JEMIDX05 stream after its magic: the
+// manifest is read through a checksumming tee and verified against its
+// footer before any payload byte is trusted, then the shard payloads
+// are read sequentially off the stream and CRC-verified + decoded in
+// parallel. Every corruption path reports an error wrapping
+// ErrIndexChecksum (so load-or-rebuild callers can detect it) and
+// names the shard it hit.
+func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
+	h := crc32.NewIEEE()
+	_, _ = h.Write(indexMagicV5[:])
+	tee := io.TeeReader(br, h)
+	m, p, err := readIndexMeta(tee)
+	if err != nil {
+		return nil, err
+	}
+	var nshards uint32
+	if err := binary.Read(tee, binary.LittleEndian, &nshards); err != nil {
+		return nil, fmt.Errorf("core: reading shard count: %w", err)
+	}
+	if nshards == 0 || nshards > sketch.MaxShards {
+		return nil, fmt.Errorf("core: implausible shard count %d", nshards)
+	}
+	lens := make([]uint64, nshards)
+	crcs := make([]uint32, nshards)
+	for i := range lens {
+		if err := binary.Read(tee, binary.LittleEndian, &lens[i]); err != nil {
+			return nil, fmt.Errorf("core: reading shard %d directory entry: %w", i, err)
+		}
+		if err := binary.Read(tee, binary.LittleEndian, &crcs[i]); err != nil {
+			return nil, fmt.Errorf("core: reading shard %d directory entry: %w", i, err)
+		}
+		if lens[i] > maxShardPayload {
+			return nil, fmt.Errorf("core: implausible shard %d payload length %d", i, lens[i])
+		}
+	}
+	want := h.Sum32()
+	var footer uint32
+	// The footer is read off br directly: it must not feed the hash.
+	if err := binary.Read(br, binary.LittleEndian, &footer); err != nil {
+		return nil, fmt.Errorf("core: reading manifest checksum: %w", err)
+	}
+	if want != footer {
+		return nil, fmt.Errorf("%w: manifest computed %08x, footer says %08x", ErrIndexChecksum, want, footer)
+	}
+	// The manifest is now trusted; pull each payload off the stream.
+	// io.CopyN grows the buffer with bytes actually read, so a length
+	// beyond the file ends in a truncation error, not an allocation.
+	payloads := make([][]byte, nshards)
+	for i := range payloads {
+		var buf bytes.Buffer
+		n, err := io.CopyN(&buf, br, int64(lens[i]))
+		if err == io.EOF && n < int64(lens[i]) {
+			return nil, fmt.Errorf("core: shard %d payload truncated (%d of %d bytes): %w (%w)",
+				i, n, lens[i], errIndexTruncated, ErrIndexChecksum)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading shard %d payload: %w", i, err)
+		}
+		payloads[i] = buf.Bytes()
+	}
+	shards := make([]*sketch.FrozenTable, nshards)
+	decErrs := make([]error, nshards)
+	parallel.ForEach(int(nshards), 0, func(i int) {
+		if sp != nil {
+			sp.Time(fmt.Sprintf("shard%d", i), func() {
+				shards[i], decErrs[i] = decodeShardPayload(i, payloads[i], crcs[i])
+			})
+			return
+		}
+		shards[i], decErrs[i] = decodeShardPayload(i, payloads[i], crcs[i])
+	})
+	for _, err := range decErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sf, err := sketch.NewShardedFrozen(shards)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling sharded table: %w", err)
+	}
+	if sf.T() != p.T {
+		return nil, fmt.Errorf("core: sharded table has %d trials, params say %d", sf.T(), p.T)
+	}
+	m.sharded = sf
+	m.table = nil
+	m.sealed = true
+	return m, nil
+}
+
+// decodeShardPayload verifies one shard payload against its manifest
+// CRC and decodes it. Runs on a worker goroutine per shard.
+func decodeShardPayload(i int, payload []byte, wantCRC uint32) (*sketch.FrozenTable, error) {
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: shard %d computed %08x, manifest says %08x", ErrIndexChecksum, i, got, wantCRC)
+	}
+	ft, err := sketch.DecodeFrozenTable(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding shard %d: %w", i, err)
+	}
+	return ft, nil
 }
 
 // ReadIndexFile loads an index from disk via ReadIndex.

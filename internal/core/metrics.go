@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -20,6 +21,13 @@ type Metrics struct {
 	Postings *obs.Counter
 	// Lookup is the per-segment lookup latency in seconds.
 	Lookup *obs.Histogram
+	// ShardPostings, present only on a sharded mapper, splits Postings
+	// by serving shard (index = shard id); it exposes routing skew.
+	ShardPostings []*obs.Counter
+	// reg is retained so per-shard counters can be registered when the
+	// sharded table is installed after EnableMetrics (the build path:
+	// the facade enables metrics before sealing).
+	reg *obs.Registry
 }
 
 // EnableMetrics registers the mapper's serving instruments on reg and
@@ -35,9 +43,33 @@ func (m *Mapper) EnableMetrics(reg *obs.Registry) *Metrics {
 		Misses:   reg.Counter("jem_core_segments_unmapped_total", "queried segments with no hit"),
 		Postings: reg.Counter("jem_core_postings_scanned_total", "sketch-table postings examined by lookups"),
 		Lookup:   reg.Histogram("jem_core_lookup_seconds", "per-segment lookup latency", obs.LatencyBuckets()),
+		reg:      reg,
 	}
 	m.met = met
+	m.enableShardMetrics()
 	return met
+}
+
+// enableShardMetrics registers the per-shard postings counters once
+// both a metrics registry and a sharded table are present. It runs
+// from EnableMetrics (load path: table installed first) and from
+// SealSharded/SetSharded (build path: registry installed first), and
+// always before sessions exist, so sessions see a complete slice.
+func (m *Mapper) enableShardMetrics() {
+	if m.met == nil || m.met.reg == nil || m.sharded == nil {
+		return
+	}
+	p := m.sharded.NumShards()
+	if len(m.met.ShardPostings) == p {
+		return
+	}
+	cs := make([]*obs.Counter, p)
+	for i := range cs {
+		cs[i] = m.met.reg.Counter(
+			fmt.Sprintf("jem_core_shard%d_postings_scanned_total", i),
+			fmt.Sprintf("sketch-table postings examined in shard %d", i))
+	}
+	m.met.ShardPostings = cs
 }
 
 // Metrics returns the instrument set installed by EnableMetrics, nil
@@ -55,4 +87,12 @@ func (met *Metrics) observe(elapsed time.Duration, postings int64, hit bool) {
 	}
 	met.Postings.Add(postings)
 	met.Lookup.Observe(elapsed.Seconds())
+}
+
+// observeShard attributes postings scanned in one shard during a
+// scatter-gather query to that shard's counter.
+func (met *Metrics) observeShard(shard int, postings int64) {
+	if shard < len(met.ShardPostings) {
+		met.ShardPostings[shard].Add(postings)
+	}
 }

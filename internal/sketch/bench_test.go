@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -174,5 +175,27 @@ func BenchmarkFrozenLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ft.Lookup(i%t, words[i%len(words)])
+	}
+}
+
+// BenchmarkShardedBuild measures FreezeSharded across shard counts —
+// the concurrent partition+build path behind Options.Shards (compare
+// the 1-shard row against BenchmarkFreezeDirect for the router's
+// overhead).
+func BenchmarkShardedBuild(b *testing.B) {
+	sk := benchSketcher(b)
+	rng := rand.New(rand.NewSource(7))
+	tb := NewTable(sk.Params().T)
+	for s := 0; s < 64; s++ {
+		words, anchors := sk.SubjectSketchPositional(randDNA(rng, 3000))
+		tb.InsertPositional(int32(s), words, anchors)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.FreezeSharded(p, 0)
+			}
+		})
 	}
 }

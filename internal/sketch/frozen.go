@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
-	"sort"
 
 	"repro/internal/kmer"
 )
@@ -256,28 +255,19 @@ func FreezePayloads(t int, payloads [][]byte) (*FrozenTable, error) {
 // memory: per trial, the words are sorted and the posting lists laid
 // out contiguously. This is the shared-memory sealing path (the
 // distributed driver uses FreezePayloads instead); it allocates the
-// three flat arrays exactly once per trial and never serializes.
+// three flat arrays exactly once per trial and never serializes. The
+// sharded counterpart is FreezeSharded; both bottom out in
+// freezeSubset, so a 1-shard sharded table is bit-for-bit this one.
 func (tb *Table) Freeze() *FrozenTable {
-	ft := &FrozenTable{trials: make([]frozenBin, tb.T())}
+	words := make([][]kmer.Word, tb.T())
 	for ti, bin := range tb.trials {
-		fb := &ft.trials[ti]
-		fb.words = make([]kmer.Word, 0, len(bin))
-		n := 0
-		for w, list := range bin {
-			fb.words = append(fb.words, w)
-			n += len(list)
+		ws := make([]kmer.Word, 0, len(bin))
+		for w := range bin {
+			ws = append(ws, w)
 		}
-		sort.Slice(fb.words, func(i, j int) bool { return fb.words[i] < fb.words[j] })
-		fb.offsets = make([]int32, 1, len(bin)+1)
-		fb.postings = make([]Posting, 0, n)
-		for _, w := range fb.words {
-			fb.postings = append(fb.postings, bin[w]...)
-			fb.offsets = append(fb.offsets, int32(len(fb.postings)))
-		}
-		fb.buildIndex()
-		ft.entries += len(fb.postings)
+		words[ti] = ws
 	}
-	return ft
+	return tb.freezeSubset(words)
 }
 
 // Encode serializes the frozen table in its own flat little-endian

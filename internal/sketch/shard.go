@@ -1,0 +1,172 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kmer"
+	"repro/internal/parallel"
+)
+
+// MaxShards bounds the shard count of a sharded sketch index. The
+// bound exists for the same reason the other decode limits do: a shard
+// count deserialized from an untrusted index file must not drive
+// unbounded allocation. It is far above any useful partitioning (the
+// paper's largest runs use 64 ranks).
+const MaxShards = 1024
+
+// ShardOf is the deterministic shard router: it maps a ⟨trial, word⟩
+// lookup key to the shard that owns its posting list. The routing is a
+// pure function of the key and the shard count — no registry, no
+// rendezvous state — so a query side and an index built anywhere agree
+// on placement as long as they agree on P. The hash is a splitmix64
+// finalizer over the word XOR a trial-salted odd constant, giving a
+// near-uniform spread even though sketch words share long prefixes.
+//
+//jem:hotpath
+func ShardOf(t int, w kmer.Word, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(w) ^ (uint64(t)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// ShardedFrozen is the partitioned form of the frozen sketch table:
+// P independent FrozenTables, each owning the ⟨trial, word⟩ keys that
+// ShardOf routes to it. Every posting list lives in exactly one shard,
+// so a sharded table answers Lookup identically to the monolithic
+// frozen table it was partitioned from; what sharding buys is
+// parallelism (shards freeze, serialize, and load independently) and
+// bounded per-shard memory.
+type ShardedFrozen struct {
+	shards []*FrozenTable
+}
+
+// NewShardedFrozen assembles a sharded table from per-shard frozen
+// tables (the index loader's path). Every shard must carry the same
+// trial count.
+func NewShardedFrozen(shards []*FrozenTable) (*ShardedFrozen, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("sketch: sharded table needs at least one shard")
+	}
+	if len(shards) > MaxShards {
+		return nil, fmt.Errorf("sketch: %d shards exceeds limit %d", len(shards), MaxShards)
+	}
+	t := shards[0].T()
+	for i, ft := range shards {
+		if ft == nil {
+			return nil, fmt.Errorf("sketch: shard %d is nil", i)
+		}
+		if ft.T() != t {
+			return nil, fmt.Errorf("sketch: shard %d has %d trials, shard 0 has %d", i, ft.T(), t)
+		}
+	}
+	return &ShardedFrozen{shards: shards}, nil
+}
+
+// NumShards returns the shard count P.
+func (sf *ShardedFrozen) NumShards() int { return len(sf.shards) }
+
+// T returns the number of trial bins (identical across shards).
+func (sf *ShardedFrozen) T() int { return sf.shards[0].T() }
+
+// Entries returns the total posting count across all shards.
+func (sf *ShardedFrozen) Entries() int {
+	n := 0
+	for _, ft := range sf.shards {
+		n += ft.Entries()
+	}
+	return n
+}
+
+// Shard returns shard i's frozen table (for serialization and for the
+// scatter-gather query path, which batches lookups per shard).
+func (sf *ShardedFrozen) Shard(i int) *FrozenTable { return sf.shards[i] }
+
+// Lookup routes ⟨t, w⟩ to its shard and returns the posting list (nil
+// when absent). The returned slice must not be modified.
+//
+//jem:hotpath
+func (sf *ShardedFrozen) Lookup(t int, w kmer.Word) []Posting {
+	return sf.shards[ShardOf(t, w, len(sf.shards))].Lookup(t, w)
+}
+
+// FreezeSharded partitions the mutable table into `shards` frozen
+// shards built concurrently with up to `workers` goroutines (≤0 means
+// GOMAXPROCS). Each ⟨trial, word⟩ posting list is routed to exactly
+// one shard by ShardOf, so for any P the sharded table answers every
+// lookup with byte-identical postings to Freeze's monolithic result.
+func (tb *Table) FreezeSharded(shards, workers int) *ShardedFrozen {
+	return tb.FreezeShardedTraced(shards, workers, nil)
+}
+
+// FreezeShardedTraced is FreezeSharded with a per-shard observation
+// hook: when trace is non-nil each shard's build runs inside
+// trace(shard, fn) on its worker goroutine, which is how the facade
+// attaches per-shard build spans without this package knowing about
+// the observability layer.
+func (tb *Table) FreezeShardedTraced(shards, workers int, trace func(shard int, fn func())) *ShardedFrozen {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	t := tb.T()
+	// Partition pass: per trial, split the word set by destination
+	// shard. Trials are independent, so the pass parallelizes over
+	// trials; distinct goroutines write distinct parts[*][ti] slots.
+	parts := make([][][]kmer.Word, shards)
+	for s := range parts {
+		parts[s] = make([][]kmer.Word, t)
+	}
+	parallel.ForEach(t, workers, func(ti int) {
+		for w := range tb.trials[ti] {
+			sd := ShardOf(ti, w, shards)
+			parts[sd][ti] = append(parts[sd][ti], w)
+		}
+	})
+	// Build pass: shards are disjoint, so they freeze concurrently.
+	out := make([]*FrozenTable, shards)
+	parallel.ForEach(shards, workers, func(sd int) {
+		if trace != nil {
+			trace(sd, func() { out[sd] = tb.freezeSubset(parts[sd]) })
+		} else {
+			out[sd] = tb.freezeSubset(parts[sd])
+		}
+	})
+	return &ShardedFrozen{shards: out}
+}
+
+// freezeSubset freezes the given per-trial word subsets (which it
+// sorts in place) into one FrozenTable, pulling posting lists from the
+// mutable table. Freeze and FreezeSharded both bottom out here.
+func (tb *Table) freezeSubset(words [][]kmer.Word) *FrozenTable {
+	ft := &FrozenTable{trials: make([]frozenBin, tb.T())}
+	for ti := range tb.trials {
+		bin := tb.trials[ti]
+		ws := words[ti]
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		n := 0
+		for _, w := range ws {
+			n += len(bin[w])
+		}
+		fb := &ft.trials[ti]
+		fb.words = ws
+		fb.offsets = make([]int32, 1, len(ws)+1)
+		fb.postings = make([]Posting, 0, n)
+		for _, w := range ws {
+			fb.postings = append(fb.postings, bin[w]...)
+			fb.offsets = append(fb.offsets, int32(len(fb.postings)))
+		}
+		fb.buildIndex()
+		ft.entries += len(fb.postings)
+	}
+	return ft
+}

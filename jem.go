@@ -60,8 +60,19 @@ type Options struct {
 	// Seed drives the random hash family; mapper and queries must use
 	// the same seed (they do — queries are sketched by the mapper).
 	Seed int64
-	// Workers bounds goroutine parallelism; ≤0 means GOMAXPROCS.
+	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Shards selects the serving backend: values > 1 partition the
+	// frozen sketch index into that many independent shards (a
+	// deterministic hash of ⟨trial, word⟩ routes each posting list to
+	// exactly one shard), built concurrently and queried scatter-gather.
+	// Mapping results are byte-identical to the unsharded backend for
+	// any shard count; sharding parallelizes index build, save and
+	// load, and bounds per-shard memory. 0 and 1 mean unsharded.
+	Shards int
+	// TileStride is the default stride of MapReadTiled in bases; 0
+	// means SegmentLen (non-overlapping tiles).
+	TileStride int
 	// HashOrdering switches the minimizer ordering from the paper's
 	// lexicographic choice to a minimap2-style hash ordering (an
 	// ablation knob; see DESIGN.md §5).
@@ -88,9 +99,6 @@ func (o Options) params() sketch.Params {
 	}
 	return p
 }
-
-// Validate reports whether the options are usable.
-func (o Options) Validate() error { return o.params().Validate() }
 
 // SegmentEnd says which end of a read a mapping concerns.
 type SegmentEnd string
@@ -129,10 +137,14 @@ type Mapper struct {
 // sketching (they alias the caller's records).
 //
 // The finished index is sealed: the sketch table is frozen into its
-// cache-friendly sorted-array form and every query is served from it
-// (the same layout the distributed gather step produces). A facade
-// mapper therefore never gains contigs after construction.
+// cache-friendly sorted-array form — partitioned into opts.Shards
+// independent shards when opts.Shards > 1 — and every query is served
+// from it (the same layout the distributed gather step produces). A
+// facade mapper therefore never gains contigs after construction.
 func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	cm, err := core.NewMapper(opts.params())
 	if err != nil {
 		return nil, err
@@ -143,13 +155,28 @@ func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
 	}
 	met := newMapperMetrics(reg, cm)
 	// Phase spans: index build = sketch the subjects, then freeze the
-	// table into its serving form.
+	// table into its serving form; a sharded freeze gets one child span
+	// per shard (shards build on concurrent workers, so the spans
+	// overlap and their sum exceeds the parent's wall time).
 	sp := reg.Tracer().Start("index.build")
 	sp.Time("sketch", func() { cm.AddSubjectsParallel(contigs, opts.Workers) })
-	sp.Time("freeze", func() { cm.Seal() })
+	if opts.Shards > 1 {
+		fz := sp.Child("freeze")
+		cm.SealShardedTraced(opts.Shards, opts.Workers, func(shard int, fn func()) {
+			fz.Time("shard"+strconv.Itoa(shard), fn)
+		})
+		fz.End()
+	} else {
+		sp.Time("freeze", func() { cm.Seal() })
+	}
 	sp.End()
 	return &Mapper{opts: opts, core: cm, contigs: contigs, reg: reg, met: met}, nil
 }
+
+// Shards returns the number of serving shards of the underlying
+// sketch index: Options.Shards for a sharded build, the on-disk shard
+// count for a loaded JEMIDX05 index, 1 for the unsharded backend.
+func (m *Mapper) Shards() int { return m.core.Shards() }
 
 // Options returns the mapper's configuration.
 func (m *Mapper) Options() Options { return m.opts }
@@ -157,21 +184,60 @@ func (m *Mapper) Options() Options { return m.opts }
 // NumContigs returns the number of indexed contigs.
 func (m *Mapper) NumContigs() int { return m.core.NumSubjects() }
 
-// MapReads maps both end segments of every read, in parallel, and
-// returns mappings in deterministic (read, end) order. Every segment
-// produces a Mapping; unmapped segments have Mapped=false.
-func (m *Mapper) MapReads(reads []Record) []Mapping {
-	results := m.core.MapReads(reads, m.opts.SegmentLen, m.opts.Workers)
-	return m.convert(results, reads)
+// MapOptions carries the per-call knobs of Mapper.Map. The zero value
+// maps with the mapper's construction-time settings.
+type MapOptions struct {
+	// Workers overrides the mapper's Workers setting for this call;
+	// 0 keeps it.
+	Workers int
 }
 
-// MapReadsContext is MapReads under a cancellable context: when ctx is
-// done the workers stop early and the call returns the mappings of
-// every read completed so far together with ctx.Err(). A nil error
-// means the full read set was mapped.
-func (m *Mapper) MapReadsContext(ctx context.Context, reads []Record) ([]Mapping, error) {
-	results, err := m.core.MapReadsContext(ctx, reads, m.opts.SegmentLen, m.opts.Workers)
+// validate mirrors Options.Validate for the per-call knobs.
+func (o MapOptions) validate() error {
+	if o.Workers < 0 {
+		return optErr("Workers", o.Workers, "must be ≥ 0 (0 means the mapper's Workers setting)")
+	}
+	return nil
+}
+
+// Map is the canonical batch entry point: it maps both end segments of
+// every read, in parallel, and returns mappings in deterministic
+// (read, end) order. Every segment produces a Mapping; unmapped
+// segments have Mapped=false.
+//
+// When ctx is cancelled the workers stop early and the call returns
+// the mappings of every read completed so far together with ctx.Err();
+// a nil error means the full read set was mapped. The deprecated
+// MapReads/MapReadsContext wrappers delegate here.
+func (m *Mapper) Map(ctx context.Context, reads []Record, opts MapOptions) ([]Mapping, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = m.opts.Workers
+	}
+	results, err := m.core.MapReadsContext(ctx, reads, m.opts.SegmentLen, workers)
 	return m.convert(results, reads), err
+}
+
+// MapReads maps both end segments of every read with the mapper's
+// construction-time settings.
+//
+// Deprecated: use Map, the context-first canonical form. MapReads is
+// Map with a background context and zero MapOptions, discarding the
+// error (which a background context never produces).
+func (m *Mapper) MapReads(reads []Record) []Mapping {
+	mappings, _ := m.Map(context.Background(), reads, MapOptions{})
+	return mappings
+}
+
+// MapReadsContext is MapReads under a cancellable context.
+//
+// Deprecated: use Map, which takes the context first and a MapOptions
+// struct; this wrapper is Map with zero MapOptions.
+func (m *Mapper) MapReadsContext(ctx context.Context, reads []Record) ([]Mapping, error) {
+	return m.Map(ctx, reads, MapOptions{})
 }
 
 func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
@@ -238,7 +304,9 @@ func LoadMapperObserved(r io.Reader, contigs []Record, reg *obs.Registry) (*Mapp
 	}
 	sp := reg.Tracer().Start("index.load")
 	rd := sp.Child("read")
-	cm, err := core.ReadIndex(r)
+	// A sharded (JEMIDX05) index decodes its shards in parallel, one
+	// child span per shard under "read".
+	cm, err := core.ReadIndexObserved(r, rd)
 	rd.End()
 	if err != nil {
 		sp.End()
@@ -254,6 +322,9 @@ func LoadMapperObserved(r io.Reader, contigs []Record, reg *obs.Registry) (*Mapp
 		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,
 		HashOrdering: p.Order == minimizer.OrderHash,
 		Metrics:      reg,
+	}
+	if sh := cm.Shards(); sh > 1 {
+		opts.Shards = sh
 	}
 	return &Mapper{opts: opts, core: cm, contigs: contigs, reg: reg, met: met}, nil
 }
@@ -281,11 +352,14 @@ type TiledMapping struct {
 }
 
 // MapReadTiled maps consecutive SegmentLen-length tiles across the
-// whole read (stride ≤ 0 means non-overlapping tiles) — the extension
-// the paper flags for detecting contigs contained in a read's
-// interior, which end-segment mapping cannot see. Unmapped tiles are
-// omitted.
+// whole read (stride ≤ 0 means Options.TileStride, and non-overlapping
+// tiles when that is unset too) — the extension the paper flags for
+// detecting contigs contained in a read's interior, which end-segment
+// mapping cannot see. Unmapped tiles are omitted.
 func (m *Mapper) MapReadTiled(read []byte, stride int) []TiledMapping {
+	if stride <= 0 {
+		stride = m.opts.TileStride
+	}
 	sess := m.core.NewSession()
 	tiles := sess.MapReadTiled(read, m.opts.SegmentLen, stride)
 	out := make([]TiledMapping, len(tiles))

@@ -1,0 +1,98 @@
+package jem
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// OpenOptions configures Open, the unified construction entry point
+// that subsumes NewMapper (build from contigs), LoadMapper (load a
+// saved index) and the load-or-rebuild fallback that CLI callers used
+// to hand-roll.
+type OpenOptions struct {
+	// Contigs is the subject set: the build source when no index is
+	// loaded, the rebuild source for the corrupt-index fallback, and
+	// otherwise the record metadata backing sequence-dependent extras
+	// on a loaded index (nil disables only those extras).
+	Contigs []Record
+	// IndexPath, when non-empty, loads the mapper from this index file
+	// instead of sketching Contigs.
+	IndexPath string
+	// RebuildOnCorrupt falls back to building from Contigs when the
+	// file at IndexPath fails its checksum verification
+	// (ErrIndexChecksum) — on-disk corruption of a once-valid index.
+	// Other load errors (missing file, unknown format) are returned
+	// as-is, and the fallback requires Contigs.
+	RebuildOnCorrupt bool
+	// Options configures the build and rebuild paths and supplies the
+	// serving knobs. A loaded index carries its own sketch parameters,
+	// which override the corresponding fields; Workers, TileStride and
+	// Metrics apply either way.
+	Options Options
+}
+
+// OpenInfo reports which construction path Open took.
+type OpenInfo struct {
+	// FromIndex is true when the mapper was loaded from IndexPath.
+	FromIndex bool
+	// Rebuilt is true when the index at IndexPath was corrupt and the
+	// mapper was rebuilt from Contigs instead (RebuildOnCorrupt).
+	Rebuilt bool
+	// IndexErr is the load error that triggered the rebuild, nil unless
+	// Rebuilt. Callers typically surface it as a warning: the corrupt
+	// file still exists and should not be served or trusted.
+	IndexErr error
+}
+
+// Open constructs a Mapper by whichever path the options select:
+//
+//   - IndexPath == "": build from Contigs (NewMapper).
+//   - IndexPath set: load the saved index; Contigs, if given, supply
+//     record metadata the index does not store.
+//   - IndexPath set + RebuildOnCorrupt: as above, but a checksum
+//     failure falls back to building from Contigs, reported in
+//     OpenInfo rather than as an error.
+//
+// The returned OpenInfo says which path ran. Open validates
+// Options for the build paths (NewMapper does), and returns typed
+// *OptionError values wrapping ErrInvalidOptions on bad options.
+func Open(opts OpenOptions) (*Mapper, OpenInfo, error) {
+	var info OpenInfo
+	if opts.IndexPath != "" {
+		m, err := openIndexFile(opts)
+		if err == nil {
+			info.FromIndex = true
+			return m, info, nil
+		}
+		if !opts.RebuildOnCorrupt || opts.Contigs == nil || !errors.Is(err, ErrIndexChecksum) {
+			return nil, info, err
+		}
+		info.Rebuilt = true
+		info.IndexErr = err
+	} else if opts.Contigs == nil {
+		return nil, info, fmt.Errorf("jem: Open needs Contigs, an IndexPath, or both")
+	}
+	m, err := NewMapper(opts.Contigs, opts.Options)
+	if err != nil {
+		return nil, OpenInfo{}, err
+	}
+	return m, info, nil
+}
+
+// openIndexFile loads the index file and adopts the caller's serving
+// knobs (the index stores sketch parameters, not serving preferences).
+func openIndexFile(opts OpenOptions) (*Mapper, error) {
+	f, err := os.Open(opts.IndexPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only handle; decode errors carry the signal
+	m, err := LoadMapperObserved(f, opts.Contigs, opts.Options.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("jem: index %s: %w", opts.IndexPath, err)
+	}
+	m.opts.Workers = opts.Options.Workers
+	m.opts.TileStride = opts.Options.TileStride
+	return m, nil
+}

@@ -99,10 +99,13 @@ func (p BadRecordPolicy) String() string {
 	}
 }
 
-// StreamOptions configures the robustness behavior of
-// MapStreamContext. The zero value reproduces MapStream: fail on the
-// first bad record, no length limit, no sidecar.
+// StreamOptions configures one Mapper.Stream call. The zero value
+// reproduces the historical MapStream behavior: the mapper's Workers
+// setting, fail on the first bad record, no length limit, no sidecar.
 type StreamOptions struct {
+	// Workers overrides the mapper's Workers setting for this stream;
+	// 0 keeps it.
+	Workers int
 	// OnBadRecord selects the malformed-record policy.
 	OnBadRecord BadRecordPolicy
 	// Quarantine, when non-nil and OnBadRecord is BadRecordQuarantine,
@@ -169,15 +172,26 @@ func (q *quarantineSidecar) record(line int, id string, cause error) {
 }
 
 // MapStream maps long reads from a FASTA/FASTQ stream without loading
-// the whole file. It is MapStreamContext with a background context and
-// default (fail-fast) stream options; see there for the pipeline and
-// error contracts.
+// the whole file.
+//
+// Deprecated: use Stream, the context-first canonical form. MapStream
+// is Stream with a background context and zero StreamOptions.
 func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
-	return m.MapStreamContext(context.Background(), r, w, StreamOptions{})
+	return m.Stream(context.Background(), r, w, StreamOptions{})
 }
 
-// MapStreamContext maps long reads from a FASTA/FASTQ stream without
-// loading the whole file. The stream is pipelined: a reader goroutine
+// MapStreamContext maps a FASTA/FASTQ stream under a cancellable
+// context with explicit stream options.
+//
+// Deprecated: use Stream, which it now delegates to; the two differ
+// only in name.
+func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
+	return m.Stream(ctx, r, w, opts)
+}
+
+// Stream is the canonical streaming entry point: it maps long reads
+// from a FASTA/FASTQ stream without loading the whole file. The
+// stream is pipelined: a reader goroutine
 // batches records, a worker pool maps batches concurrently with
 // persistent per-worker sessions, and the calling goroutine writes TSV
 // rows in input order as batches complete. It is the memory-bounded
@@ -211,18 +225,25 @@ func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 // Counters and wall times are recorded into the mapper's obs.Registry
 // (see Metrics); the returned Stats is the registry movement between
 // start and end of this call. Concurrent traffic on the same mapper
-// (another MapStream, MapReads) would fold into the same instruments,
-// so per-run Stats are only meaningful when runs don't overlap.
-func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
+// (another Stream, Map) would fold into the same instruments, so
+// per-run Stats are only meaningful when runs don't overlap.
+func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
 	met := m.met
 	base := met.snapshot()
+	if err := opts.validate(); err != nil {
+		return met.statsSince(base), err
+	}
 	// Fault-injection points (no-ops unless a test armed them).
 	r = fault.Reader(r)
 	w = fault.Writer(w)
 	if _, err := io.WriteString(w, tsvHeader); err != nil {
 		return met.statsSince(base), err
 	}
-	workers := parallel.Workers(m.opts.Workers)
+	streamWorkers := opts.Workers
+	if streamWorkers == 0 {
+		streamWorkers = m.opts.Workers
+	}
+	workers := parallel.Workers(streamWorkers)
 	work := make(chan streamWork, workers)
 	results := make(chan streamResult, workers)
 	sidecar := &quarantineSidecar{}
