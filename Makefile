@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test bench bench-smoke metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test serve-smoke bench bench-smoke bench-core metrics-demo fuzz repro repro-quick clean
 
 all: build vet lint api-check test
 
@@ -49,6 +49,13 @@ fault-test:
 	$(GO) test -race -run 'TestMapStream|TestMapReads|TestMapper|TestIndex|TestWriteIndex' . ./internal/core/
 	$(GO) test -race ./internal/fault/ ./internal/seq/
 
+# End-to-end serving tests under the race detector: concurrent
+# byte-identity with the CLI, admission control, deadlines, hot-swap
+# under load, fault injection. See docs/SERVING.md.
+serve-smoke:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run TestConcurrentStreamStatsSumToRegistry .
+
 # Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -57,6 +64,12 @@ bench:
 # a measurement (CI runs this to keep the benches from bit-rotting).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Refresh the committed perf trajectory point (BENCH_core.json at the
+# repo root). Run on a quiet machine and commit the diff; git history
+# of the file is the performance trajectory.
+bench-core:
+	$(GO) run ./cmd/jem-bench core
 
 # End-to-end observability demo: synthesize a tiny dataset, run the
 # streaming mapper with a live metrics server, and scrape /metrics and

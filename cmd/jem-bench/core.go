@@ -1,0 +1,138 @@
+// The core subcommand is the repository's perf trajectory probe: one
+// fixed, deterministic end-to-end streaming run whose result is written
+// as machine-readable JSON (BENCH_core.json at the repo root). Each
+// committed point is one sample of the trajectory; `git log -p
+// BENCH_core.json` is the performance history. Numbers are only
+// comparable between runs on the same machine — the point of the file
+// is trend, not absolute throughput.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// coreResult is the BENCH_core.json schema. Field names are stable:
+// downstream tooling (and future sessions reading the trajectory)
+// diffs them across commits.
+type coreResult struct {
+	Schema    string `json:"schema"` // "jem-bench/core/v1"
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	Procs     int    `json:"gomaxprocs"`
+
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Contigs int     `json:"contigs"`
+	K       int     `json:"k"`
+	W       int     `json:"w"`
+	Trials  int     `json:"trials"`
+	SegLen  int     `json:"segment_len"`
+	Shards  int     `json:"shards"`
+
+	Reads           int     `json:"reads"`
+	Passes          int     `json:"passes"`
+	WallNS          int64   `json:"wall_ns"`
+	ReadsPerSec     float64 `json:"reads_per_sec"`
+	NSPerRead       float64 `json:"ns_per_read"`
+	AllocsPerRead   float64 `json:"allocs_per_read"`
+	PostingsScanned int64   `json:"postings_scanned"`
+	PostingsPerRead float64 `json:"postings_per_read"`
+}
+
+// benchCore measures steady-state streaming throughput of the core
+// mapping pipeline (parse → sketch → scatter-gather lookup → TSV) on
+// the bsplendens-like dataset and writes the result to outPath.
+func benchCore(scale float64, opts jem.Options, w io.Writer, outPath string) error {
+	ds, err := experiments.Build(mustSpec("bsplendens-like"), scale)
+	if err != nil {
+		return err
+	}
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		return err
+	}
+
+	var fastq bytes.Buffer
+	for _, r := range ds.Reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, strings.Repeat("I", len(r.Seq)))
+	}
+	input := fastq.Bytes()
+	ctx := context.Background()
+
+	// One warmup pass populates the dataset cache side effects and the
+	// runtime's lazily grown structures so the timed passes measure
+	// steady state.
+	if _, err := mapper.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{}); err != nil {
+		return err
+	}
+
+	res := coreResult{
+		Schema:    "jem-bench/core/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+		Dataset:   ds.Spec.Name,
+		Scale:     scale,
+		Contigs:   len(ds.Contigs),
+		K:         opts.K,
+		W:         opts.W,
+		Trials:    opts.Trials,
+		SegLen:    opts.SegmentLen,
+		Shards:    mapper.Shards(),
+	}
+
+	// Timed passes: at least 3 and at least one second of wall clock,
+	// capped so a slow machine still finishes promptly.
+	var (
+		ms0, ms1 runtime.MemStats
+		allocs   uint64
+	)
+	for res.Passes < 3 || (res.WallNS < int64(time.Second) && res.Passes < 20) {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		stats, err := mapper.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{})
+		if err != nil {
+			return err
+		}
+		res.WallNS += time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		allocs += ms1.Mallocs - ms0.Mallocs
+		res.Reads += stats.Reads
+		res.PostingsScanned += stats.PostingsScanned
+		res.Passes++
+	}
+	res.ReadsPerSec = float64(res.Reads) / (float64(res.WallNS) / float64(time.Second))
+	res.NSPerRead = float64(res.WallNS) / float64(res.Reads)
+	res.AllocsPerRead = float64(allocs) / float64(res.Reads)
+	res.PostingsPerRead = float64(res.PostingsScanned) / float64(res.Reads)
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "core benchmark (%s @ scale %g, %d reads x %d passes)\n",
+		res.Dataset, res.Scale, res.Reads/res.Passes, res.Passes)
+	fmt.Fprintf(w, "  %12.0f reads/sec\n", res.ReadsPerSec)
+	fmt.Fprintf(w, "  %12.0f ns/read\n", res.NSPerRead)
+	fmt.Fprintf(w, "  %12.1f allocs/read\n", res.AllocsPerRead)
+	fmt.Fprintf(w, "  %12.1f postings scanned/read\n", res.PostingsPerRead)
+	fmt.Fprintf(w, "  wrote %s\n", outPath)
+	return nil
+}

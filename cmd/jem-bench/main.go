@@ -9,7 +9,8 @@
 //	jem-bench fig7b             querying throughput vs p
 //	jem-bench fig8              computation vs communication split
 //	jem-bench fig9              percent identity distribution
-//	jem-bench all               everything above in order
+//	jem-bench core              core mapping throughput -> BENCH_core.json
+//	jem-bench all               everything above in order (except core)
 //
 // The -scale flag scales the paper's genome lengths; the default 0.01
 // keeps a full "all" run in the minutes range on a laptop. Absolute
@@ -17,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro"
@@ -31,15 +35,19 @@ import (
 
 func main() {
 	var (
-		scale       = flag.Float64("scale", 0.01, "genome length scale vs the paper")
-		trials      = flag.Int("t", 30, "sketch trials T")
-		seed        = flag.Int64("seed", 1, "hash family seed")
-		csvDir      = flag.String("csv", "", "also write raw data as CSV files into this directory")
+		scale    = flag.Float64("scale", 0.01, "genome length scale vs the paper")
+		trials   = flag.Int("t", 30, "sketch trials T")
+		seed     = flag.Int64("seed", 1, "hash family seed")
+		csvDir   = flag.String("csv", "", "also write raw data as CSV files into this directory")
+		benchOut = flag.String("bench-out", "BENCH_core.json",
+			"output path for the core subcommand's machine-readable result")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics, /statusz, /debug/vars and /debug/pprof while benchmarks run (empty = off)")
+		metricsLinger = flag.Duration("metrics-linger", 0,
+			"keep the metrics server up this long after the run finishes (lets a scraper collect the final state)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|core|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,8 +70,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jem-bench: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "serving metrics at %s/metrics (also /statusz, /debug/vars, /debug/pprof)\n", srv.URL())
+		defer func() {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "metrics server lingering %v\n", *metricsLinger)
+				// The linger is interruptible: a signal during it ends
+				// the wait early instead of holding the process hostage.
+				ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+				select {
+				case <-time.After(*metricsLinger):
+				case <-ctx.Done():
+				}
+				stop()
+			}
+			// Graceful shutdown lets an in-flight scrape finish; fall
+			// back to a hard close if it cannot within the grace period.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				_ = srv.Close() // hard stop; the scrape was cut anyway
+			}
+		}()
 	}
 
 	if *csvDir != "" {
@@ -72,7 +99,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(flag.Arg(0), *scale, opts, os.Stdout, *csvDir); err != nil {
+	if err := run(flag.Arg(0), *scale, opts, os.Stdout, *csvDir, *benchOut); err != nil {
 		fmt.Fprintf(os.Stderr, "jem-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -96,7 +123,7 @@ func writeCSVFile(csvDir, name string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func run(cmd string, scale float64, opts jem.Options, w io.Writer, csvDir string) error {
+func run(cmd string, scale float64, opts jem.Options, w io.Writer, csvDir, benchOut string) error {
 	start := time.Now()
 	defer func() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
@@ -223,9 +250,13 @@ func run(cmd string, scale float64, opts jem.Options, w io.Writer, csvDir string
 			return err
 		}
 		experiments.RenderAblationBubbles(w, bub)
+	case "core":
+		if err := benchCore(scale, opts, w, benchOut); err != nil {
+			return err
+		}
 	case "all":
 		for _, c := range []string{"table1", "fig5", "fig6", "table2", "fig7a", "fig7b", "fig8", "fig9", "ablations", "coverage"} {
-			if err := run(c, scale, opts, w, csvDir); err != nil {
+			if err := run(c, scale, opts, w, csvDir, benchOut); err != nil {
 				return fmt.Errorf("%s: %w", c, err)
 			}
 			fmt.Fprintln(w)

@@ -1,0 +1,185 @@
+// Command jem-serve is the long-lived mapping service: it loads one
+// or more contig sketch indexes, keeps them hot, and serves concurrent
+// mapping requests over HTTP until told to stop.
+//
+// Usage:
+//
+//	jem-serve -addr :8844 -index ecoli=/data/ecoli.jemidx
+//	jem-serve -addr :8844 -contigs asm=/data/contigs.fasta -shards 8
+//
+// -index and -contigs are repeatable name=path pairs; a name given to
+// both loads the index file and keeps the contig records as metadata.
+// Map against a loaded reference with:
+//
+//	curl --data-binary @reads.fastq 'localhost:8844/v1/map/ecoli?timeout=30s'
+//
+// Endpoints, admission control, deadlines and the hot-swap protocol
+// are documented in docs/SERVING.md. SIGINT/SIGTERM drain gracefully:
+// readyz flips to 503, in-flight requests finish (bounded by
+// -drain-timeout), then the process exits; a second signal kills it
+// immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// namedPaths collects repeatable -index/-contigs name=path flags in
+// order.
+type namedPaths []struct{ name, path string }
+
+func (n *namedPaths) String() string { return fmt.Sprint(*n) }
+
+func (n *namedPaths) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*n = append(*n, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var (
+		indexes namedPaths
+		contigs namedPaths
+
+		addr     = flag.String("addr", ":8844", "HTTP listen address")
+		k        = flag.Int("k", 16, "k-mer size (builds from -contigs)")
+		w        = flag.Int("w", 100, "minimizer window size (builds from -contigs)")
+		t        = flag.Int("t", 30, "sketch trials T (builds from -contigs)")
+		l        = flag.Int("l", 1000, "end segment length (builds from -contigs)")
+		seed     = flag.Int64("seed", 1, "hash family seed (builds from -contigs)")
+		shards   = flag.Int("shards", 0, "index shards for builds (0/1 = unsharded)")
+		inflight = flag.Int("max-in-flight", 0, "concurrent mapping requests (0 = default 4)")
+		queue    = flag.Int("max-queue", 0, "waiting requests before 429 (0 = 4x max-in-flight)")
+		reqWork  = flag.Int("workers-per-request", 0, "mapping workers per request (0 = GOMAXPROCS/max-in-flight)")
+		defTO    = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = none)")
+		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+	)
+	flag.Var(&indexes, "index", "serve a saved index: name=path (repeatable)")
+	flag.Var(&contigs, "contigs", "build and serve an index from contigs: name=path (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jem-serve [flags] -index name=path | -contigs name=path\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if len(indexes) == 0 && len(contigs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(indexes, contigs, config{
+		addr: *addr, k: *k, w: *w, t: *t, l: *l, seed: *seed, shards: *shards,
+		inflight: *inflight, queue: *queue, reqWork: *reqWork,
+		defTO: *defTO, maxTO: *maxTO, drainTO: *drainTO,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "jem-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr                     string
+	k, w, t, l               int
+	seed                     int64
+	shards                   int
+	inflight, queue, reqWork int
+	defTO, maxTO, drainTO    time.Duration
+}
+
+func run(indexes, contigs namedPaths, cfg config) error {
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxInFlight:       cfg.inflight,
+		MaxQueue:          cfg.queue,
+		WorkersPerRequest: cfg.reqWork,
+		DefaultTimeout:    cfg.defTO,
+		MaxTimeout:        cfg.maxTO,
+		Registry:          reg,
+	})
+
+	// Contig records given for the same name as an index become load
+	// metadata; standalone -contigs names are full builds.
+	contigRecords := make(map[string][]jem.Record)
+	for _, c := range contigs {
+		recs, err := jem.ReadSequences(c.path)
+		if err != nil {
+			return fmt.Errorf("contigs %s: %w", c.name, err)
+		}
+		contigRecords[c.name] = recs
+	}
+	opts := jem.Options{K: cfg.k, W: cfg.w, Trials: cfg.t, SegmentLen: cfg.l,
+		Seed: cfg.seed, Shards: cfg.shards, Metrics: reg}
+	loaded := make(map[string]bool)
+	for _, ix := range indexes {
+		m, _, err := jem.Open(jem.OpenOptions{
+			Contigs:   contigRecords[ix.name],
+			IndexPath: ix.path,
+			Options:   opts,
+		})
+		if err != nil {
+			return fmt.Errorf("index %s: %w", ix.name, err)
+		}
+		srv.AddIndex(ix.name, m)
+		loaded[ix.name] = true
+		logIndex(ix.name, m, "loaded")
+	}
+	for _, c := range contigs {
+		if loaded[c.name] {
+			continue
+		}
+		m, err := jem.NewMapper(contigRecords[c.name], opts)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", c.name, err)
+		}
+		srv.AddIndex(c.name, m)
+		logIndex(c.name, m, "built")
+	}
+
+	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "jem-serve: listening on %s (endpoints: /v1/map /v1/indexes /healthz /readyz /metrics)\n", cfg.addr)
+
+	// First signal: stop advertising ready, drain in-flight requests,
+	// exit. Second signal (stop() restores default handling): hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "jem-serve: draining (grace %v)\n", cfg.drainTO)
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTO)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w (in-flight requests were cut)", err)
+	}
+	fmt.Fprintln(os.Stderr, "jem-serve: drained, bye")
+	return nil
+}
+
+func logIndex(name string, m *jem.Mapper, how string) {
+	fmt.Fprintf(os.Stderr, "jem-serve: %s %q: %d contigs, %d shards, %.1f MiB resident\n",
+		how, name, m.NumContigs(), m.Shards(), float64(m.IndexBytes())/(1<<20))
+}

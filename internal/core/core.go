@@ -132,6 +132,20 @@ func (m *Mapper) Shards() int {
 	return 1
 }
 
+// IndexBytes returns the approximate resident size of the serving
+// index (the frozen or sharded sketch table's backing arrays), 0 for
+// an unsealed mapper. A serving tier with several indexes resident
+// uses this for per-index memory accounting.
+func (m *Mapper) IndexBytes() int64 {
+	switch {
+	case m.sharded != nil:
+		return m.sharded.MemBytes()
+	case m.frozen != nil:
+		return m.frozen.MemBytes()
+	}
+	return 0
+}
+
 // SetSharded installs a sharded frozen table; subsequent lookups
 // scatter-gather across its shards. Like SetFrozen it must run before
 // sessions are issued, and clearing the only table of a sealed mapper

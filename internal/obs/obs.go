@@ -24,6 +24,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing int64 metric.
@@ -40,6 +41,27 @@ func (c *Counter) Add(d int64) { c.v.Add(d) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Wall is a cumulative wall-clock instrument backed by an integer
+// nanosecond count. It renders as a float-seconds gauge (the
+// Prometheus convention) but, unlike accumulating float seconds in a
+// Gauge, integer addition never loses precision: a float64 gauge that
+// has grown large absorbs small additions into rounding error, so a
+// long-lived server's wall counters would drift low. Int64 nanoseconds
+// overflow after ~292 years of accumulated wall time.
+type Wall struct {
+	ns atomic.Int64
+}
+
+// Add folds one measured duration into the total.
+func (w *Wall) Add(d time.Duration) { w.ns.Add(int64(d)) }
+
+// Duration returns the exact accumulated wall time.
+func (w *Wall) Duration() time.Duration { return time.Duration(w.ns.Load()) }
+
+// Seconds returns the total as float seconds (the render-time
+// conversion; the stored value stays integer).
+func (w *Wall) Seconds() float64 { return float64(w.ns.Load()) / float64(time.Second) }
 
 // Gauge is a float64 metric that can go up and down (also used for
 // cumulative wall-clock seconds, where float keeps the Prometheus

@@ -39,7 +39,22 @@ type entry struct {
 	counter    *Counter
 	gauge      *Gauge
 	gaugeFn    func() float64
+	wall       *Wall
 	hist       *Histogram
+}
+
+// gaugeValue reads a KindGauge entry whatever its backing form: a
+// settable Gauge, a render-time callback, or an integer-nanosecond
+// Wall rendered as seconds.
+func (e *entry) gaugeValue() float64 {
+	switch {
+	case e.gaugeFn != nil:
+		return e.gaugeFn()
+	case e.wall != nil:
+		return e.wall.Seconds()
+	default:
+		return e.gauge.Value()
+	}
 }
 
 // Registry names instruments and renders them. Registration is
@@ -92,13 +107,30 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	defer r.mu.Unlock()
 	if e := r.get(name, KindGauge); e != nil {
 		if e.gauge == nil {
-			panic(fmt.Sprintf("obs: %q is a callback gauge", name))
+			panic(fmt.Sprintf("obs: %q is not a settable gauge", name))
 		}
 		return e.gauge
 	}
 	g := &Gauge{}
 	r.entries[name] = &entry{name: name, help: help, kind: KindGauge, gauge: g}
 	return g
+}
+
+// Wall returns the wall-clock instrument registered under name,
+// creating it on first use. It renders as a float-seconds gauge but
+// accumulates integer nanoseconds (see the Wall type).
+func (r *Registry) Wall(name, help string) *Wall {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.get(name, KindGauge); e != nil {
+		if e.wall == nil {
+			panic(fmt.Sprintf("obs: %q is not a wall gauge", name))
+		}
+		return e.wall
+	}
+	w := &Wall{}
+	r.entries[name] = &entry{name: name, help: help, kind: KindGauge, wall: w}
+	return w
 }
 
 // GaugeFunc registers a gauge whose value is computed by fn at render
@@ -159,13 +191,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case KindCounter:
 			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
 		case KindGauge:
-			v := 0.0
-			if e.gaugeFn != nil {
-				v = e.gaugeFn()
-			} else {
-				v = e.gauge.Value()
-			}
-			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(v))
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.gaugeValue()))
 		case KindHistogram:
 			counts := e.hist.BucketCounts()
 			var cum int64
@@ -201,13 +227,7 @@ func (r *Registry) WriteTable(w io.Writer) error {
 		case KindCounter:
 			tb.AddRow(e.name, "counter", fmt.Sprintf("%d", e.counter.Value()))
 		case KindGauge:
-			v := 0.0
-			if e.gaugeFn != nil {
-				v = e.gaugeFn()
-			} else {
-				v = e.gauge.Value()
-			}
-			tb.AddRow(e.name, "gauge", formatFloat(v))
+			tb.AddRow(e.name, "gauge", formatFloat(e.gaugeValue()))
 		case KindHistogram:
 			h := e.hist
 			mean := 0.0
@@ -242,11 +262,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case KindCounter:
 			out[e.name] = float64(e.counter.Value())
 		case KindGauge:
-			if e.gaugeFn != nil {
-				out[e.name] = e.gaugeFn()
-			} else {
-				out[e.name] = e.gauge.Value()
-			}
+			out[e.name] = e.gaugeValue()
 		case KindHistogram:
 			out[e.name+"_count"] = float64(e.hist.Count())
 			out[e.name+"_sum"] = e.hist.Sum()

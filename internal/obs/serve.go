@@ -32,26 +32,8 @@ var expvarOnce sync.Once
 // It also registers scrape-time runtime gauges (goroutines, heap
 // bytes, GC cycles) on reg. Close shuts the listener down.
 func Serve(addr string, reg *Registry) (*Server, error) {
-	registerRuntimeGauges(reg)
-	expvarOnce.Do(func() {
-		expvar.Publish("jem_metrics", expvar.Func(func() any { return reg.Snapshot() }))
-	})
-
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = reg.WriteTable(w)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	Mount(mux, reg)
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -76,6 +58,33 @@ func (s *Server) Close() error { return s.srv.Close() }
 // The run epilogue uses this so a scraper mid-collection at exit gets
 // a complete response instead of a reset connection.
 func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Mount registers the observability endpoints on an existing mux —
+// the hook a daemon with its own HTTP surface (jem-serve) uses to
+// carry /metrics, /statusz, /debug/vars and /debug/pprof/* alongside
+// its API, instead of running a second listener via Serve. It also
+// installs the scrape-time runtime gauges on reg and publishes the
+// first mounted registry as the process-wide "jem_metrics" expvar.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	registerRuntimeGauges(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("jem_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteTable(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // registerRuntimeGauges adds scrape-time process gauges so even an
 // otherwise-empty registry (jem-bench) exposes something useful.

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by admit when the wait queue is already at
+// capacity; the HTTP layer translates it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// admission is the server's load-shedding gate: at most maxInFlight
+// mapping requests run concurrently, at most maxQueue more wait for a
+// slot, and everything beyond that is rejected immediately with
+// ErrQueueFull (fail fast beats queueing without bound — a saturated
+// mapper gains nothing from a longer queue, it only converts overload
+// into latency and memory growth).
+//
+// Waiting is deadline-aware: a queued request whose context expires
+// leaves the queue with the context's error, so a client timeout never
+// occupies a wait slot it can no longer use.
+type admission struct {
+	slots    chan struct{} // buffered to maxInFlight; a held token = running
+	queued   atomic.Int64  // requests currently waiting for a token
+	maxQueue int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// admit blocks until a slot is free, the queue is full, or ctx is
+// done. On success the caller must call the returned release exactly
+// once when the request finishes.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight returns the number of currently running requests.
+func (a *admission) InFlight() int64 { return int64(len(a.slots)) }
+
+// Queued returns the number of requests waiting for a slot.
+func (a *admission) Queued() int64 { return a.queued.Load() }

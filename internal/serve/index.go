@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// version is one generation of a served index: the sealed mapper plus
+// the bookkeeping that makes hot-swap drainable. Requests pin the
+// version they started on, so a swap never invalidates in-flight work
+// — old-generation requests finish on the old mapper while new
+// arrivals route to the new one.
+type version struct {
+	mapper   *jem.Mapper
+	gen      int64
+	inflight atomic.Int64 // requests currently mapping on this version
+	served   atomic.Int64 // requests completed on this version
+}
+
+// servedIndex is a named reference index behind an atomic pointer.
+// Swap replaces the pointer; acquire/release pin a version across one
+// request.
+type servedIndex struct {
+	name string
+	cur  atomic.Pointer[version]
+}
+
+// acquire pins the current version for one request. The retry loop
+// closes the load/increment race with a concurrent swap: if the
+// pointer moved while we were incrementing, the increment may have
+// landed on a version the swapper already began draining, so undo and
+// take the new one — the drain wait then cannot miss us.
+func (ix *servedIndex) acquire() *version {
+	for {
+		v := ix.cur.Load()
+		v.inflight.Add(1)
+		if ix.cur.Load() == v {
+			return v
+		}
+		v.inflight.Add(-1)
+	}
+}
+
+func (v *version) release() {
+	v.served.Add(1)
+	v.inflight.Add(-1)
+}
+
+// swap atomically installs a new mapper generation and returns the
+// displaced version (never nil).
+func (ix *servedIndex) swap(m *jem.Mapper) *version {
+	old := ix.cur.Load()
+	next := &version{mapper: m, gen: old.gen + 1}
+	ix.cur.Store(next)
+	return old
+}
+
+// drain waits until every request pinned to v has finished, polling
+// the in-flight count, or until ctx expires. It reports whether the
+// drain completed and how long it waited. Polling (rather than a
+// WaitGroup) keeps release on the request hot path to one atomic add,
+// and a swap is rare enough that millisecond-granularity waiting is
+// free.
+func drain(ctx context.Context, v *version) (drained bool, waited time.Duration) {
+	start := time.Now()
+	for v.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return false, time.Since(start)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return true, time.Since(start)
+}
+
+// indexSet is the server's named-index table. The map itself is
+// mutated only by AddIndex (and guarded by mu); lookups take the lock
+// briefly and all per-request state lives in the servedIndex versions.
+type indexSet struct {
+	mu      sync.Mutex
+	byName  map[string]*servedIndex
+	ordered []string // registration order, for stable listings
+}
+
+func newIndexSet() *indexSet {
+	return &indexSet{byName: make(map[string]*servedIndex)}
+}
+
+// add registers a new named index (or swaps an existing name) and
+// returns the servedIndex. Used at startup and by the swap endpoint.
+func (s *indexSet) add(name string, m *jem.Mapper) (*servedIndex, *version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ix, ok := s.byName[name]; ok {
+		return ix, ix.swap(m)
+	}
+	ix := &servedIndex{name: name}
+	ix.cur.Store(&version{mapper: m, gen: 1})
+	s.byName[name] = ix
+	s.ordered = append(s.ordered, name)
+	return ix, nil
+}
+
+func (s *indexSet) get(name string) (*servedIndex, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix, ok := s.byName[name]
+	return ix, ok
+}
+
+// sole returns the only index when exactly one is loaded — the
+// default target for /v1/map without an explicit index name.
+func (s *indexSet) sole() (*servedIndex, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ordered) != 1 {
+		return nil, false
+	}
+	return s.byName[s.ordered[0]], true
+}
+
+// list snapshots the registered indexes in registration order.
+func (s *indexSet) list() []*servedIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*servedIndex, 0, len(s.ordered))
+	for _, name := range s.ordered {
+		out = append(out, s.byName[name])
+	}
+	return out
+}
+
+func (s *indexSet) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byName)
+}

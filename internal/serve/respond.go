@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// deferredWriter decouples "the mapping stream writes rows" from "the
+// HTTP status is committed". Rows buffer in memory until either the
+// run finishes (the whole response is then sent atomically, which is
+// what lets a failed run — deadline exceeded, injected write fault,
+// worker panic under the fail policy — return a clean error status
+// with no partial rows) or the buffer crosses commitLimit (a large
+// result set then streams with 200 and periodic flushes, bounding
+// server memory; a failure after that point truncates the body and
+// appends a "# jem-serve: error:" comment line so clients can tell a
+// truncated table from a complete one).
+type deferredWriter struct {
+	hw          http.ResponseWriter
+	commitLimit int
+	buf         bytes.Buffer
+	committed   bool
+	sinceFlush  int
+	writeErr    error
+}
+
+// flushEvery bounds how many bytes a committed (streaming) response
+// accumulates before the chunk is pushed to the client.
+const flushEvery = 32 << 10
+
+func newDeferredWriter(w http.ResponseWriter, commitLimit int) *deferredWriter {
+	return &deferredWriter{hw: w, commitLimit: commitLimit}
+}
+
+func (d *deferredWriter) Write(p []byte) (int, error) {
+	if d.writeErr != nil {
+		return 0, d.writeErr
+	}
+	if !d.committed {
+		d.buf.Write(p)
+		if d.buf.Len() >= d.commitLimit {
+			d.commit(http.StatusOK)
+		}
+		return len(p), nil
+	}
+	n, err := d.hw.Write(p)
+	d.writeErr = err
+	d.sinceFlush += n
+	if err == nil && d.sinceFlush >= flushEvery {
+		d.flush()
+	}
+	return n, err
+}
+
+// commit sends the status line and everything buffered so far.
+func (d *deferredWriter) commit(status int) {
+	if d.committed {
+		return
+	}
+	d.committed = true
+	d.hw.WriteHeader(status)
+	if d.buf.Len() > 0 {
+		_, d.writeErr = d.hw.Write(d.buf.Bytes())
+		d.buf.Reset()
+		d.flush()
+	}
+}
+
+func (d *deferredWriter) flush() {
+	d.sinceFlush = 0
+	if f, ok := d.hw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish ends a successful run: commit 200 if still buffered (setting
+// fn's headers first — stats are only knowable at the end, and headers
+// can only be set pre-commit) and flush the remainder.
+func (d *deferredWriter) finish(setHeaders func(http.Header)) error {
+	if !d.committed {
+		if setHeaders != nil {
+			setHeaders(d.hw.Header())
+		}
+		d.commit(http.StatusOK)
+	}
+	d.flush()
+	return d.writeErr
+}
+
+// fail ends a failed run. Pre-commit the buffered rows are dropped and
+// a clean error status goes out (the partial-free contract); post-
+// commit the body is already streaming, so the best that can be done
+// is a trailing comment line marking the table as truncated.
+func (d *deferredWriter) fail(status int, msg string) {
+	if !d.committed {
+		d.buf.Reset()
+		d.hw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		http.Error(d.hw, msg, status)
+		d.committed = true
+		return
+	}
+	fmt.Fprintf(d.hw, "# jem-serve: error: %s\n", msg)
+	d.flush()
+}
+
+// ndjsonWriter transcodes the mapper's TSV row stream into newline-
+// delimited JSON on the fly — one object per mapped segment, the
+// header line dropped. It exists so format=json costs no second
+// mapping pass and no buffering of the result set: the TSV row format
+// is the mapper's native streamed output, and re-encoding a 4-field
+// row is cheap next to producing it.
+type ndjsonWriter struct {
+	w         *deferredWriter
+	carry     []byte // partial trailing line from the previous Write
+	out       []byte // per-call encode buffer, reused
+	sawHeader bool
+}
+
+func (j *ndjsonWriter) Write(p []byte) (int, error) {
+	j.carry = append(j.carry, p...)
+	j.out = j.out[:0]
+	for {
+		nl := bytes.IndexByte(j.carry, '\n')
+		if nl < 0 {
+			break
+		}
+		line := j.carry[:nl]
+		j.carry = j.carry[nl+1:]
+		if !j.sawHeader {
+			j.sawHeader = true
+			continue
+		}
+		j.out = appendRowJSON(j.out, line)
+	}
+	if len(j.out) > 0 {
+		if _, err := j.w.Write(j.out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// appendRowJSON renders one TSV row (read_id, end, contig_id,
+// shared_trials; "*" marks unmapped) as a JSON object line.
+func appendRowJSON(out, line []byte) []byte {
+	fields := bytes.Split(line, []byte{'\t'})
+	if len(fields) != 4 {
+		return out // malformed row; cannot happen from our own writer
+	}
+	out = append(out, `{"read_id":`...)
+	out = strconv.AppendQuote(out, string(fields[0]))
+	out = append(out, `,"end":`...)
+	out = strconv.AppendQuote(out, string(fields[1]))
+	if string(fields[2]) == "*" {
+		out = append(out, `,"mapped":false}`...)
+	} else {
+		out = append(out, `,"mapped":true,"contig_id":`...)
+		out = strconv.AppendQuote(out, string(fields[2]))
+		out = append(out, `,"shared_trials":`...)
+		out = append(out, fields[3]...)
+		out = append(out, '}')
+	}
+	return append(out, '\n')
+}

@@ -1,0 +1,537 @@
+// Package serve is the long-lived mapping service behind cmd/jem-serve:
+// an HTTP/JSON daemon that holds one or more open sharded sketch
+// indexes hot and serves concurrent mapping sessions over them.
+//
+// It is the network tier over the jem facade — everything below it
+// (sealed sharded index, context-first Stream with per-run Stats,
+// cancellation, quarantine, fault injection, the obs registry) is
+// reused as-is:
+//
+//	POST /v1/map[/{index}]        FASTA/FASTQ batch in, TSV or NDJSON out (streamed)
+//	GET  /v1/indexes              loaded references + per-index memory accounting
+//	POST /v1/indexes/{name}/swap  hot-swap a rebuilt index; drains the old generation
+//	GET  /healthz                 liveness (process up)
+//	GET  /readyz                  readiness (≥1 index loaded, not draining)
+//	GET  /metrics, /statusz, /debug/vars, /debug/pprof/*   (obs registry)
+//
+// Concurrency control is explicit: at most MaxInFlight requests map
+// concurrently, MaxQueue more wait (deadline-aware), and overflow is
+// rejected with 429 — see admission.go. Each request runs under its
+// own deadline (?timeout, capped by MaxTimeout) and its records flow
+// through the facade's pipelined micro-batching (64-read batches on
+// persistent per-worker sessions), so concurrent small requests keep
+// the workers hot without any cross-request state. See
+// docs/SERVING.md.
+package serve
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/seq"
+)
+
+// Config tunes a Server. The zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// MaxInFlight bounds concurrently mapping requests (default 4).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond
+	// it requests are rejected with 429 (default 4×MaxInFlight).
+	MaxQueue int
+	// WorkersPerRequest is the mapping-worker count each request's
+	// stream pipeline gets (default GOMAXPROCS/MaxInFlight, min 1, so
+	// a fully loaded server does not oversubscribe the cores).
+	WorkersPerRequest int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout (default 0 = none).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested ?timeout values (default 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 1 GiB).
+	MaxBodyBytes int64
+	// CommitBytes is the response-buffer threshold below which a
+	// mapping response is sent atomically — errors before it produce a
+	// partial-free error status; responses that outgrow it stream with
+	// 200 and periodic flushes (default 1 MiB).
+	CommitBytes int
+	// Registry receives the server's instruments and is mounted at
+	// /metrics; the mappers' own instruments should live in the same
+	// registry (default: a fresh registry).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.WorkersPerRequest <= 0 {
+		c.WorkersPerRequest = runtime.GOMAXPROCS(0) / c.MaxInFlight
+		if c.WorkersPerRequest < 1 {
+			c.WorkersPerRequest = 1
+		}
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.CommitBytes <= 0 {
+		c.CommitBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// serveMetrics are the server-level instruments, alongside the mapper
+// instruments already in the shared registry.
+type serveMetrics struct {
+	requests *obs.Counter
+	rejected *obs.Counter
+	errors   *obs.Counter
+	deadline *obs.Counter
+	canceled *obs.Counter
+	badInput *obs.Counter
+	swaps    *obs.Counter
+	latency  *obs.Histogram
+}
+
+// Server is the mapping service. Create it with New, register indexes
+// with AddIndex, and mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	adm     *admission
+	indexes *indexSet
+	met     serveMetrics
+	mux     *http.ServeMux
+
+	draining chan struct{} // closed by BeginDrain
+}
+
+// New creates a Server with no indexes loaded (readyz reports 503
+// until the first AddIndex).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		indexes: newIndexSet(),
+		met: serveMetrics{
+			requests: reg.Counter("jem_serve_requests_total", "mapping requests admitted"),
+			rejected: reg.Counter("jem_serve_rejected_total", "mapping requests rejected by admission control (429)"),
+			errors:   reg.Counter("jem_serve_errors_total", "mapping requests failed with a 5xx"),
+			deadline: reg.Counter("jem_serve_deadline_total", "mapping requests that exceeded their deadline (504)"),
+			canceled: reg.Counter("jem_serve_canceled_total", "mapping requests abandoned by the client"),
+			badInput: reg.Counter("jem_serve_bad_input_total", "mapping requests rejected for malformed records (400)"),
+			swaps:    reg.Counter("jem_serve_index_swaps_total", "index hot-swaps completed"),
+			latency:  reg.Histogram("jem_serve_request_seconds", "mapping request latency", obs.LatencyBuckets()),
+		},
+		draining: make(chan struct{}),
+	}
+	reg.GaugeFunc("jem_serve_inflight", "mapping requests currently running",
+		func() float64 { return float64(s.adm.InFlight()) })
+	reg.GaugeFunc("jem_serve_queued", "mapping requests waiting for an in-flight slot",
+		func() float64 { return float64(s.adm.Queued()) })
+	reg.GaugeFunc("jem_serve_index_bytes", "resident bytes across all loaded index generations",
+		func() float64 {
+			var n int64
+			for _, ix := range s.indexes.list() {
+				n += ix.cur.Load().mapper.IndexBytes()
+			}
+			return float64(n)
+		})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/map/{index}", s.handleMap)
+	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	mux.HandleFunc("POST /v1/indexes/{name}/swap", s.handleSwap)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	obs.Mount(mux, reg)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP surface (API + observability).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's observability registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// AddIndex registers (or replaces) a named reference index. Replacing
+// follows the same swap-then-drain path as the HTTP endpoint.
+func (s *Server) AddIndex(name string, m *jem.Mapper) {
+	s.indexes.add(name, m)
+}
+
+// BeginDrain flips readyz to 503 so load balancers stop routing here;
+// in-flight and queued requests keep running. Call it on
+// SIGINT/SIGTERM before http.Server.Shutdown. Safe to call once.
+func (s *Server) BeginDrain() { close(s.draining) }
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.isDraining():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.indexes.size() == 0:
+		http.Error(w, "no index loaded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// targetIndex resolves the index a map request addresses: the
+// {index} path element when present, otherwise the sole loaded index.
+func (s *Server) targetIndex(r *http.Request) (*servedIndex, error) {
+	if name := r.PathValue("index"); name != "" {
+		ix, ok := s.indexes.get(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown index %q", name)
+		}
+		return ix, nil
+	}
+	if ix, ok := s.indexes.sole(); ok {
+		return ix, nil
+	}
+	return nil, fmt.Errorf("%d indexes loaded; address one as /v1/map/{index}", s.indexes.size())
+}
+
+// requestDeadline derives the request context from ?timeout, the
+// config default, and the MaxTimeout cap.
+func (s *Server) requestDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		td, err := time.ParseDuration(q)
+		if err != nil || td <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 30s)", q)
+		}
+		d = td
+	}
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// handleMap is the mapping endpoint: FASTA/FASTQ body in (optionally
+// Content-Encoding: gzip), TSV (default) or NDJSON (?format=json)
+// rows out, streamed. Stats land in the X-JEM-* response headers when
+// the response is small enough to commit atomically.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ix, err := s.targetIndex(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "tsv"
+	}
+	if format != "tsv" && format != "json" {
+		http.Error(w, fmt.Sprintf("bad format %q (want tsv or json)", format), http.StatusBadRequest)
+		return
+	}
+	policy := jem.BadRecordFail
+	if p := q.Get("on_bad_record"); p != "" {
+		policy, err = jem.ParseBadRecordPolicy(p)
+		if err != nil || policy == jem.BadRecordQuarantine {
+			http.Error(w, "bad on_bad_record (want fail or skip)", http.StatusBadRequest)
+			return
+		}
+	}
+	ctx, cancel, err := s.requestDeadline(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+
+	// Admission: bounded concurrency, bounded queue, 429 on overflow.
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.met.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			return
+		}
+		s.finishErr(w, nil, err, start) // queued past the deadline
+		return
+	}
+	defer release()
+	s.met.requests.Inc()
+
+	var reader io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(reader)
+		if err != nil {
+			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer gz.Close()
+		reader = gz
+	}
+
+	v := ix.acquire()
+	defer v.release()
+
+	dw := newDeferredWriter(w, s.cfg.CommitBytes)
+	var sink io.Writer = dw
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = &ndjsonWriter{w: dw}
+	} else {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	}
+
+	stats, err := v.mapper.Stream(ctx, reader, sink, jem.StreamOptions{
+		Workers:     s.cfg.WorkersPerRequest,
+		OnBadRecord: policy,
+	})
+	if err != nil {
+		s.finishErrCommitted(dw, err)
+		s.met.latency.Observe(time.Since(start).Seconds())
+		return
+	}
+	err = dw.finish(func(h http.Header) {
+		h.Set("X-JEM-Reads", fmt.Sprint(stats.Reads))
+		h.Set("X-JEM-Segments", fmt.Sprint(stats.Segments))
+		h.Set("X-JEM-Mapped", fmt.Sprint(stats.Mapped))
+		h.Set("X-JEM-Bad-Records", fmt.Sprint(stats.BadRecords))
+		h.Set("X-JEM-Postings-Scanned", fmt.Sprint(stats.PostingsScanned))
+		h.Set("X-JEM-Index-Generation", fmt.Sprint(v.gen))
+	})
+	if err != nil {
+		// The response write failed; nothing sensible to send.
+		s.met.canceled.Inc()
+	}
+	s.met.latency.Observe(time.Since(start).Seconds())
+}
+
+// finishErrCommitted maps a mapping-run error onto the response
+// through the deferred writer's partial-free contract.
+func (s *Server) finishErrCommitted(dw *deferredWriter, err error) {
+	status, msg := s.classify(err)
+	dw.fail(status, msg)
+}
+
+// finishErr is the pre-pipeline variant (no rows produced yet).
+func (s *Server) finishErr(w http.ResponseWriter, _ *deferredWriter, err error, start time.Time) {
+	status, msg := s.classify(err)
+	http.Error(w, msg, status)
+	s.met.latency.Observe(time.Since(start).Seconds())
+}
+
+// classify maps run errors to HTTP statuses and moves the failure
+// counters: deadline → 504, client-gone → 499 (nginx convention),
+// malformed records → 400, everything else (injected faults, worker
+// panics, I/O) → 500.
+func (s *Server) classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.deadline.Inc()
+		return http.StatusGatewayTimeout, "deadline exceeded before the mapping completed"
+	case errors.Is(err, context.Canceled):
+		s.met.canceled.Inc()
+		return 499, "request canceled"
+	case seq.IsRecordError(err):
+		s.met.badInput.Inc()
+		return http.StatusBadRequest, "malformed input record: " + err.Error()
+	default:
+		s.met.errors.Inc()
+		return http.StatusInternalServerError, "mapping failed: " + err.Error()
+	}
+}
+
+// swapRequest is the POST /v1/indexes/{name}/swap body.
+type swapRequest struct {
+	// IndexPath is the saved index (JEMIDX05 etc.) to load.
+	IndexPath string `json:"index_path"`
+	// ContigsPath, when set, supplies contig records: the rebuild
+	// source with RebuildOnCorrupt, otherwise record metadata only.
+	ContigsPath string `json:"contigs_path,omitempty"`
+	// RebuildOnCorrupt falls back to rebuilding from ContigsPath when
+	// the index file fails its checksum.
+	RebuildOnCorrupt bool `json:"rebuild_on_corrupt,omitempty"`
+	// Shards applies to a rebuild (a loaded index keeps its own).
+	Shards int `json:"shards,omitempty"`
+	// DrainTimeout bounds the wait for old-generation requests
+	// (Go duration string, default "30s").
+	DrainTimeout string `json:"drain_timeout,omitempty"`
+	// Create registers the name if it is not already served.
+	Create bool `json:"create,omitempty"`
+}
+
+type swapResponse struct {
+	Name       string `json:"name"`
+	Generation int64  `json:"generation"`
+	IndexBytes int64  `json:"index_bytes"`
+	Contigs    int    `json:"contigs"`
+	Shards     int    `json:"shards"`
+	Rebuilt    bool   `json:"rebuilt,omitempty"`
+	Drained    bool   `json:"drained"`
+	DrainMs    int64  `json:"drain_ms"`
+}
+
+// handleSwap loads a new index generation and hot-swaps it behind the
+// name's atomic pointer. In-flight requests finish on the generation
+// they started with; the handler waits (bounded) for that drain and
+// reports whether it completed. No request is ever dropped by a swap.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req swapRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad swap request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.IndexPath == "" && req.ContigsPath == "" {
+		http.Error(w, "swap needs index_path, contigs_path, or both", http.StatusBadRequest)
+		return
+	}
+	if _, known := s.indexes.get(name); !known && !req.Create {
+		http.Error(w, fmt.Sprintf("unknown index %q (set create to register it)", name), http.StatusNotFound)
+		return
+	}
+	drainTimeout := 30 * time.Second
+	if req.DrainTimeout != "" {
+		d, err := time.ParseDuration(req.DrainTimeout)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad drain_timeout", http.StatusBadRequest)
+			return
+		}
+		drainTimeout = d
+	}
+
+	var contigs []jem.Record
+	if req.ContigsPath != "" {
+		var err error
+		if contigs, err = jem.ReadSequences(req.ContigsPath); err != nil {
+			http.Error(w, "loading contigs: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	opts := jem.DefaultOptions()
+	opts.Metrics = s.reg
+	opts.Shards = req.Shards
+	m, info, err := jem.Open(jem.OpenOptions{
+		Contigs:          contigs,
+		IndexPath:        req.IndexPath,
+		RebuildOnCorrupt: req.RebuildOnCorrupt,
+		Options:          opts,
+	})
+	if err != nil {
+		http.Error(w, "loading index: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ix, displaced := s.indexes.add(name, m)
+	resp := swapResponse{
+		Name:       name,
+		Generation: ix.cur.Load().gen,
+		IndexBytes: m.IndexBytes(),
+		Contigs:    m.NumContigs(),
+		Shards:     m.Shards(),
+		Rebuilt:    info.Rebuilt,
+		Drained:    true,
+	}
+	if displaced != nil {
+		dctx, cancel := context.WithTimeout(r.Context(), drainTimeout)
+		defer cancel()
+		var waited time.Duration
+		resp.Drained, waited = drain(dctx, displaced)
+		resp.DrainMs = waited.Milliseconds()
+	}
+	s.met.swaps.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// indexInfo is one entry of the GET /v1/indexes listing.
+type indexInfo struct {
+	Name       string `json:"name"`
+	Generation int64  `json:"generation"`
+	Contigs    int    `json:"contigs"`
+	Shards     int    `json:"shards"`
+	IndexBytes int64  `json:"index_bytes"`
+	InFlight   int64  `json:"inflight"`
+	Served     int64  `json:"served"`
+	Params     struct {
+		K          int   `json:"k"`
+		W          int   `json:"w"`
+		Trials     int   `json:"trials"`
+		SegmentLen int   `json:"segment_len"`
+		Seed       int64 `json:"seed"`
+	} `json:"params"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
+	list := s.indexes.list()
+	out := struct {
+		Indexes    []indexInfo `json:"indexes"`
+		TotalBytes int64       `json:"total_index_bytes"`
+	}{Indexes: make([]indexInfo, 0, len(list))}
+	for _, ix := range list {
+		v := ix.cur.Load()
+		m := v.mapper
+		info := indexInfo{
+			Name:       ix.name,
+			Generation: v.gen,
+			Contigs:    m.NumContigs(),
+			Shards:     m.Shards(),
+			IndexBytes: m.IndexBytes(),
+			InFlight:   v.inflight.Load(),
+			Served:     v.served.Load(),
+		}
+		o := m.Options()
+		info.Params.K, info.Params.W = o.K, o.W
+		info.Params.Trials, info.Params.SegmentLen = o.Trials, o.SegmentLen
+		info.Params.Seed = o.Seed
+		out.TotalBytes += info.IndexBytes
+		out.Indexes = append(out.Indexes, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -73,6 +73,23 @@ func (ft *FrozenTable) Entries() int { return ft.entries }
 // Words returns the number of distinct words in trial t.
 func (ft *FrozenTable) Words(t int) int { return len(ft.trials[t].words) }
 
+// MemBytes returns the approximate resident size of the frozen table:
+// the backing arrays of every trial bin (words, offsets, postings and
+// the radix bucket directory). Struct headers and allocator slack are
+// not charged — this is the memory-accounting figure a server reports
+// per loaded index, where the arrays dominate by orders of magnitude.
+func (ft *FrozenTable) MemBytes() int64 {
+	var n int64
+	for i := range ft.trials {
+		b := &ft.trials[i]
+		n += int64(len(b.words)) * 8    // kmer.Word = uint64
+		n += int64(len(b.offsets)) * 4  // int32
+		n += int64(len(b.postings)) * 8 // Posting = 2×int32
+		n += int64(len(b.buckets)) * 4  // int32
+	}
+	return n
+}
+
 // Lookup returns the posting list for word w in trial t (nil when
 // absent). The returned slice must not be modified.
 func (ft *FrozenTable) Lookup(t int, w kmer.Word) []Posting {

@@ -85,6 +85,16 @@ func (sf *ShardedFrozen) Entries() int {
 	return n
 }
 
+// MemBytes returns the approximate resident size across all shards
+// (see FrozenTable.MemBytes).
+func (sf *ShardedFrozen) MemBytes() int64 {
+	var n int64
+	for _, ft := range sf.shards {
+		n += ft.MemBytes()
+	}
+	return n
+}
+
 // Shard returns shard i's frozen table (for serialization and for the
 // scatter-gather query path, which batches lookups per shard).
 func (sf *ShardedFrozen) Shard(i int) *FrozenTable { return sf.shards[i] }

@@ -181,6 +181,13 @@ func (m *Mapper) Shards() int { return m.core.Shards() }
 // Options returns the mapper's configuration.
 func (m *Mapper) Options() Options { return m.opts }
 
+// IndexBytes returns the approximate resident size of the sealed
+// sketch index in bytes (the frozen table's backing arrays; struct
+// headers and allocator slack are not charged). A serving tier
+// holding several reference indexes open at once uses this for
+// per-index memory accounting (GET /v1/indexes in jem-serve).
+func (m *Mapper) IndexBytes() int64 { return m.core.IndexBytes() }
+
 // NumContigs returns the number of indexed contigs.
 func (m *Mapper) NumContigs() int { return m.core.NumSubjects() }
 

@@ -1,6 +1,7 @@
 package jem
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -10,9 +11,10 @@ import (
 // mapperMetrics bundles every instrument a facade Mapper owns: the
 // core serving counters (installed via core.EnableMetrics) plus the
 // streaming-pipeline counters and phase-wall gauges MapStream drives.
-// The registry these live in is the single source of truth — the
-// Stats returned by MapStream is derived from registry movement, not
-// from parallel bookkeeping.
+// The registry these live in is the fleet-wide source of truth; each
+// Map/Stream invocation additionally carries its own runStats so
+// concurrent runs on one Mapper report correct per-run Stats (see
+// newRun).
 type mapperMetrics struct {
 	core *core.Metrics
 
@@ -24,9 +26,9 @@ type mapperMetrics struct {
 	quarantined *obs.Counter // bad records written to the quarantine sidecar
 	panics      *obs.Counter // worker panics recovered into batch errors
 
-	readWall  *obs.Gauge // cumulative seconds parsing input records
-	mapWall   *obs.Gauge // cumulative worker seconds sketching+mapping
-	writeWall *obs.Gauge // cumulative seconds formatting+writing TSV
+	readWall  *obs.Wall // cumulative wall time parsing input records
+	mapWall   *obs.Wall // cumulative worker wall time sketching+mapping
+	writeWall *obs.Wall // cumulative wall time formatting+writing TSV
 }
 
 func newMapperMetrics(reg *obs.Registry, cm *core.Mapper) *mapperMetrics {
@@ -41,60 +43,116 @@ func newMapperMetrics(reg *obs.Registry, cm *core.Mapper) *mapperMetrics {
 			"bad records written to the quarantine sidecar"),
 		panics: reg.Counter("jem_stream_worker_panics_total",
 			"worker panics recovered into per-batch errors"),
-		readWall: reg.Gauge("jem_stream_read_wall_seconds",
+		readWall: reg.Wall("jem_stream_read_wall_seconds",
 			"cumulative wall time parsing FASTA/FASTQ records"),
-		mapWall: reg.Gauge("jem_stream_map_wall_seconds",
+		mapWall: reg.Wall("jem_stream_map_wall_seconds",
 			"cumulative worker wall time sketching and mapping"),
-		writeWall: reg.Gauge("jem_stream_write_wall_seconds",
+		writeWall: reg.Wall("jem_stream_write_wall_seconds",
 			"cumulative wall time formatting and writing TSV rows"),
 	}
 }
 
-// streamSnapshot is a point-in-time reading of the instruments one
-// MapStream run moves. Two snapshots bracket a run; their difference
-// is that run's Stats.
-type streamSnapshot struct {
-	reads, segments, mapped, postings int64
-	badRecords, quarantined, panics   int64
-	readWall, mapWall, writeWall      float64
+// runScope is one Map/Stream invocation's stats scope: every pipeline
+// event is recorded twice, into the mapper's registry instruments
+// (fleet-wide, shared by every concurrent run) and into this run's own
+// delta accumulators. Per-run Stats are read from the accumulators, so
+// N overlapping runs each report exactly their own work while the
+// registry still shows the aggregate — the two views sum consistently
+// by construction.
+//
+// Before runScope existed, Stats was derived by diffing registry
+// snapshots taken at the start and end of a run; any concurrent
+// traffic on the same Mapper (a second Stream, a Map batch) landed in
+// between and was misattributed to whichever run read its snapshot
+// later. A long-lived server doing concurrent mapping sessions is
+// exactly that workload.
+//
+// All fields are atomics: the reader goroutine, the worker pool and
+// the writer each feed different fields, and wall totals from several
+// workers land on mapWallNS concurrently.
+type runScope struct {
+	mm *mapperMetrics
+
+	reads, segments, mapped         atomic.Int64
+	badRecords, quarantined, panics atomic.Int64
+	postings                        atomic.Int64
+
+	// Wall totals in integer nanoseconds — same representation as the
+	// registry's obs.Wall gauges, so per-run and fleet-wide wall time
+	// never disagree by float rounding.
+	readWallNS, mapWallNS, writeWallNS atomic.Int64
 }
 
-func (mm *mapperMetrics) snapshot() streamSnapshot {
-	return streamSnapshot{
-		reads:       mm.reads.Value(),
-		segments:    mm.segments.Value(),
-		mapped:      mm.mapped.Value(),
-		postings:    mm.core.Postings.Value(),
-		badRecords:  mm.badRecords.Value(),
-		quarantined: mm.quarantined.Value(),
-		panics:      mm.panics.Value(),
-		readWall:    mm.readWall.Value(),
-		mapWall:     mm.mapWall.Value(),
-		writeWall:   mm.writeWall.Value(),
-	}
+// newRun opens a fresh per-run scope over the mapper's instruments.
+func (mm *mapperMetrics) newRun() *runScope { return &runScope{mm: mm} }
+
+func (rs *runScope) incRead() {
+	rs.mm.reads.Inc()
+	rs.reads.Add(1)
 }
 
-// statsSince derives a Stats from the registry movement since base.
-// Counters are exact; wall times round-trip through float seconds
-// (sub-nanosecond error over any realistic run length).
-func (mm *mapperMetrics) statsSince(base streamSnapshot) Stats {
-	now := mm.snapshot()
+func (rs *runScope) incBadRecord() {
+	rs.mm.badRecords.Inc()
+	rs.badRecords.Add(1)
+}
+
+func (rs *runScope) incQuarantined() {
+	rs.mm.quarantined.Inc()
+	rs.quarantined.Add(1)
+}
+
+func (rs *runScope) incPanic() {
+	rs.mm.panics.Inc()
+	rs.panics.Add(1)
+}
+
+// addDrained accounts one drained batch: segments written (or
+// accounted after a write error) and how many of them hit a contig.
+func (rs *runScope) addDrained(segments, mapped int64) {
+	rs.mm.segments.Add(segments)
+	rs.mm.mapped.Add(mapped)
+	rs.segments.Add(segments)
+	rs.mapped.Add(mapped)
+}
+
+// addPostings attributes one worker session's posting scans to this
+// run. The registry's core counter already received them per segment
+// (the session's instrumented lookups), so only the run accumulator
+// moves here.
+func (rs *runScope) addPostings(n int64) { rs.postings.Add(n) }
+
+func (rs *runScope) addReadWall(d time.Duration) {
+	rs.mm.readWall.Add(d)
+	rs.readWallNS.Add(int64(d))
+}
+
+func (rs *runScope) addMapWall(d time.Duration) {
+	rs.mm.mapWall.Add(d)
+	rs.mapWallNS.Add(int64(d))
+}
+
+func (rs *runScope) addWriteWall(d time.Duration) {
+	rs.mm.writeWall.Add(d)
+	rs.writeWallNS.Add(int64(d))
+}
+
+// stats renders the run's accumulators as the Stats returned to the
+// caller. Safe to call once the pipeline has drained (the stream's
+// goroutines have all exited by then, so the loads observe every
+// update).
+func (rs *runScope) stats() Stats {
 	return Stats{
-		Reads:           int(now.reads - base.reads),
-		Segments:        int(now.segments - base.segments),
-		Mapped:          int(now.mapped - base.mapped),
-		BadRecords:      int(now.badRecords - base.badRecords),
-		Quarantined:     int(now.quarantined - base.quarantined),
-		WorkerPanics:    int(now.panics - base.panics),
-		PostingsScanned: now.postings - base.postings,
-		ReadWall:        secondsToDuration(now.readWall - base.readWall),
-		MapWall:         secondsToDuration(now.mapWall - base.mapWall),
-		WriteWall:       secondsToDuration(now.writeWall - base.writeWall),
+		Reads:           int(rs.reads.Load()),
+		Segments:        int(rs.segments.Load()),
+		Mapped:          int(rs.mapped.Load()),
+		BadRecords:      int(rs.badRecords.Load()),
+		Quarantined:     int(rs.quarantined.Load()),
+		WorkerPanics:    int(rs.panics.Load()),
+		PostingsScanned: rs.postings.Load(),
+		ReadWall:        time.Duration(rs.readWallNS.Load()),
+		MapWall:         time.Duration(rs.mapWallNS.Load()),
+		WriteWall:       time.Duration(rs.writeWallNS.Load()),
 	}
-}
-
-func secondsToDuration(s float64) time.Duration {
-	return time.Duration(s * float64(time.Second))
 }
 
 // Metrics returns the mapper's observability registry: the core

@@ -21,11 +21,13 @@ import (
 // so the wall times measure work inside each phase, not elapsed
 // stream time.
 //
-// Stats is a read-out of the mapper's obs.Registry (see Metrics): the
-// registry instruments are snapshotted when MapStream starts and the
-// difference at the end is returned, so the registry — which can be
-// watched live via jem-mapper -metrics-addr — and the returned Stats
-// can never disagree.
+// Every event a run records lands twice: in the run's own delta
+// accumulators (which become this Stats) and in the mapper's
+// obs.Registry (see Metrics) — which can be watched live via
+// jem-mapper -metrics-addr. The registry aggregates across runs, so
+// with N concurrent Map/Stream calls on one Mapper each call's Stats
+// reports exactly its own work and the N Stats sum to the registry
+// movement.
 type Stats struct {
 	// Reads is the number of well-formed records pulled from the input
 	// stream (bad records are counted separately in BadRecords).
@@ -223,21 +225,20 @@ func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer,
 //     reflects the work actually done.
 //
 // Counters and wall times are recorded into the mapper's obs.Registry
-// (see Metrics); the returned Stats is the registry movement between
-// start and end of this call. Concurrent traffic on the same mapper
-// (another Stream, Map) would fold into the same instruments, so
-// per-run Stats are only meaningful when runs don't overlap.
+// (see Metrics) and, independently, into this run's own accumulators;
+// the returned Stats comes from the latter, so concurrent traffic on
+// the same mapper (another Stream, Map) never contaminates a run's
+// Stats — the registry carries the fleet-wide aggregate.
 func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
-	met := m.met
-	base := met.snapshot()
+	run := m.met.newRun()
 	if err := opts.validate(); err != nil {
-		return met.statsSince(base), err
+		return run.stats(), err
 	}
 	// Fault-injection points (no-ops unless a test armed them).
 	r = fault.Reader(r)
 	w = fault.Writer(w)
 	if _, err := io.WriteString(w, tsvHeader); err != nil {
-		return met.statsSince(base), err
+		return run.stats(), err
 	}
 	streamWorkers := opts.Workers
 	if streamWorkers == 0 {
@@ -282,9 +283,9 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 					readErr = err
 					break
 				}
-				met.badRecords.Inc()
+				run.incBadRecord()
 				if opts.OnBadRecord == BadRecordQuarantine {
-					met.quarantined.Inc()
+					run.incQuarantined()
 					sidecar.record(sr.Line(), recordErrID(err), err)
 				}
 				t0 = time.Now()
@@ -298,7 +299,7 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 				}
 				continue
 			}
-			met.reads.Inc()
+			run.incRead()
 			batch = append(batch, rec)
 			if len(batch) == streamBatch {
 				work <- streamWork{seq: seqno, base: nextIndex, recs: batch}
@@ -311,8 +312,8 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 			work <- streamWork{seq: seqno, base: nextIndex, recs: batch}
 		}
 		// Recorded before close(work), which happens-before the workers
-		// exit and therefore before the writer's final snapshot.
-		met.readWall.Add(readWall.Seconds())
+		// exit and therefore before the final stats read.
+		run.addReadWall(readWall)
 	}()
 
 	// Workers: persistent sessions, one per goroutine, reused across
@@ -328,11 +329,17 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 		go func() {
 			var mapWall time.Duration
 			defer wg.Done()
-			defer func() { met.mapWall.Add(mapWall.Seconds()) }() // runs before wg.Done
 			sess := m.core.NewSession().WithContext(ctx)
+			// Runs before wg.Done: the worker's wall time and its
+			// session's posting scans are attributed to this run while
+			// the pipeline is still draining.
+			defer func() {
+				run.addMapWall(mapWall)
+				run.addPostings(sess.PostingsScanned())
+			}()
 			for item := range work {
 				t0 := time.Now()
-				res := m.mapStreamBatch(sess, item)
+				res := m.mapStreamBatch(run, sess, item)
 				mapWall += time.Since(t0)
 				results <- res
 			}
@@ -343,9 +350,9 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 		close(results)
 	}()
 
-	writeErr, batchErr := m.drainStreamResults(w, results, opts.OnBadRecord == BadRecordFail)
+	writeErr, batchErr := m.drainStreamResults(run, w, results, opts.OnBadRecord == BadRecordFail)
 
-	stats := met.statsSince(base)
+	stats := run.stats()
 	switch {
 	case writeErr != nil:
 		return stats, writeErr
@@ -373,10 +380,10 @@ func recordErrID(err error) string {
 // sketch/lookup path into a per-batch error instead of crashing the
 // process. The injected fault.WorkerPanic point lives here so tests
 // can prove the recovery path end to end.
-func (m *Mapper) mapStreamBatch(sess *core.Session, item streamWork) (res streamResult) {
+func (m *Mapper) mapStreamBatch(run *runScope, sess *core.Session, item streamWork) (res streamResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.met.panics.Inc()
+			run.incPanic()
 			res = streamResult{seq: item.seq, err: fmt.Errorf(
 				"jem: worker panic mapping batch %d (reads %d-%d): %v",
 				item.seq, item.base, item.base+len(item.recs)-1, r)}
@@ -407,8 +414,7 @@ func (m *Mapper) mapStreamBatch(sess *core.Session, item streamWork) (res stream
 // stream; it cannot balloon memory.
 //
 //jem:hotpath
-func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult, failOnBatchErr bool) (writeErr, batchErr error) {
-	met := m.met
+func (m *Mapper) drainStreamResults(run *runScope, w io.Writer, results <-chan streamResult, failOnBatchErr bool) (writeErr, batchErr error) {
 	var (
 		writeWall time.Duration
 		buf       = make([]byte, 0, 128)
@@ -445,8 +451,7 @@ func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult, fa
 					hits++
 				}
 			}
-			met.segments.Add(segs)
-			met.mapped.Add(hits)
+			run.addDrained(segs, hits)
 			if writeErr != nil {
 				continue
 			}
@@ -461,7 +466,7 @@ func (m *Mapper) drainStreamResults(w io.Writer, results <-chan streamResult, fa
 			writeWall += time.Since(t0)
 		}
 	}
-	met.writeWall.Add(writeWall.Seconds())
+	run.addWriteWall(writeWall)
 	return writeErr, batchErr
 }
 

@@ -1,0 +1,123 @@
+package jem_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestConcurrentStreamStatsSumToRegistry pins the per-run attribution
+// contract that makes a Mapper servable: N Stream runs executing
+// concurrently on one Mapper must each report exactly their own work,
+// and the N per-run Stats must sum to the registry movement. Before
+// per-run accumulators, Stats was a diff of registry snapshots, so
+// overlapping runs stole each other's counts — run it under -race to
+// also prove the accumulators are data-race free.
+func TestConcurrentStreamStatsSumToRegistry(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var input bytes.Buffer
+	if err := writeFASTQ(&input, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	before := mapper.Metrics().Snapshot()
+
+	const runs = 8
+	var (
+		wg    sync.WaitGroup
+		stats [runs]jem.Stats
+		errs  [runs]error
+	)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			in := bytes.NewReader(input.Bytes())
+			stats[i], errs[i] = mapper.Stream(context.Background(), in, &out, jem.StreamOptions{})
+		}(i)
+	}
+	// Concurrent Map traffic on the same mapper moves the registry's
+	// core counters mid-stream; it must not leak into any run's Stats.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if _, err := mapper.Map(context.Background(), ds.Reads[:8], jem.MapOptions{}); err != nil {
+				t.Errorf("concurrent Map: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var sum jem.Stats
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if stats[i].Reads != len(ds.Reads) {
+			t.Errorf("run %d Reads = %d, want %d (per-run attribution)", i, stats[i].Reads, len(ds.Reads))
+		}
+		if stats[i].Segments == 0 || stats[i].PostingsScanned == 0 {
+			t.Errorf("run %d recorded no work (segments=%d postings=%d)",
+				i, stats[i].Segments, stats[i].PostingsScanned)
+		}
+		sum.Reads += stats[i].Reads
+		sum.Segments += stats[i].Segments
+		sum.Mapped += stats[i].Mapped
+		sum.PostingsScanned += stats[i].PostingsScanned
+		sum.ReadWall += stats[i].ReadWall
+		sum.MapWall += stats[i].MapWall
+		sum.WriteWall += stats[i].WriteWall
+	}
+
+	after := mapper.Metrics().Snapshot()
+	movement := func(name string) int64 { return int64(after[name] - before[name]) }
+	// The stream counters are moved only by Stream runs, so the per-run
+	// sums must equal the registry movement exactly.
+	if got := movement("jem_stream_reads_total"); got != int64(sum.Reads) {
+		t.Errorf("registry reads moved %d, per-run sum %d", got, sum.Reads)
+	}
+	if got := movement("jem_stream_segments_total"); got != int64(sum.Segments) {
+		t.Errorf("registry segments moved %d, per-run sum %d", got, sum.Segments)
+	}
+	if got := movement("jem_stream_segments_mapped_total"); got != int64(sum.Mapped) {
+		t.Errorf("registry mapped moved %d, per-run sum %d", got, sum.Mapped)
+	}
+	// Wall gauges accumulate integer nanoseconds, so the per-run sums
+	// are exact across concurrent runs; compare in nanoseconds (the
+	// snapshot renders seconds as float, so recover ns by rounding
+	// rather than comparing float sums, which are not associative).
+	wall := map[string]int64{
+		"jem_stream_read_wall_seconds":  int64(sum.ReadWall),
+		"jem_stream_write_wall_seconds": int64(sum.WriteWall),
+		"jem_stream_map_wall_seconds":   int64(sum.MapWall),
+	}
+	for name, want := range wall {
+		if got := int64(math.Round((after[name] - before[name]) * 1e9)); got != want {
+			t.Errorf("registry %s moved %dns, per-run sum %dns", name, got, want)
+		}
+	}
+	// The core postings counter also absorbed the concurrent Map calls,
+	// so the stream runs' sum bounds it from below strictly.
+	if got := movement("jem_core_postings_scanned_total"); got <= sum.PostingsScanned {
+		t.Errorf("core postings moved %d, want > stream sum %d (Map traffic ran too)", got, sum.PostingsScanned)
+	}
+	// Determinism guard: every run mapped the same input, so per-run
+	// segment counts agree.
+	for i := 1; i < runs; i++ {
+		if stats[i].Segments != stats[0].Segments || stats[i].Mapped != stats[0].Mapped {
+			t.Errorf("run %d segments/mapped = %d/%d, run 0 = %d/%d",
+				i, stats[i].Segments, stats[i].Mapped, stats[0].Segments, stats[0].Mapped)
+		}
+	}
+}
