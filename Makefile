@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test serve-smoke bench bench-smoke bench-core metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test serve-smoke obs-smoke bench bench-smoke bench-core bench-obs metrics-demo fuzz repro repro-quick clean
 
 all: build vet lint api-check test
 
@@ -56,6 +56,15 @@ serve-smoke:
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run TestConcurrentStreamStatsSumToRegistry .
 
+# Request-scoped observability tests under the race detector: trace
+# propagation through Stream, the X-JEM-Trace-Id header contract,
+# tail-sampling rings, the flight recorder, the request log, and the
+# 10k-request bounded-memory soak. See docs/OBSERVABILITY.md.
+obs-smoke:
+	$(GO) test -race -count=2 ./internal/obs/
+	$(GO) test -race -run 'TestTrace|TestSlowRequest|TestRequestLog|TestObsSoak' ./internal/serve/
+	$(GO) test -race -run 'TestStreamAttachesSpans|TestStreamSpansUnsharded|TestMapChildSpan' .
+
 # Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -70,6 +79,12 @@ bench-smoke:
 # of the file is the performance trajectory.
 bench-core:
 	$(GO) run ./cmd/jem-bench core
+
+# Refresh the committed tracing-overhead point (BENCH_obs.json): the
+# same streaming run with tracing off vs on, interleaved passes. The
+# traced run must stay within a few percent of the untraced one.
+bench-obs:
+	$(GO) run ./cmd/jem-bench obs
 
 # End-to-end observability demo: synthesize a tiny dataset, run the
 # streaming mapper with a live metrics server, and scrape /metrics and

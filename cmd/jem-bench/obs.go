@@ -1,0 +1,183 @@
+// The obs subcommand measures the cost of request-scoped tracing: the
+// same streaming run benchCore times, once with a plain context and
+// once under a live root span (per-phase children, per-shard timing,
+// trace-ring admission and a request-log record per pass — everything
+// a traced serving request pays). The result, BENCH_obs.json, pins the
+// overhead so a regression in the observability path shows up in the
+// perf trajectory like any other slowdown.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// obsResult is the BENCH_obs.json schema. "off" fields measure the
+// untraced pipeline, "on" fields the fully traced one; overhead_pct is
+// the ns/read delta as a percentage of the untraced baseline.
+type obsResult struct {
+	Schema    string `json:"schema"` // "jem-bench/obs/v1"
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	Procs     int    `json:"gomaxprocs"`
+
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Shards  int     `json:"shards"`
+
+	Reads     int `json:"reads_per_pass"`
+	PassesOff int `json:"passes_off"`
+	PassesOn  int `json:"passes_on"`
+
+	NSPerReadOff     float64 `json:"ns_per_read_off"`
+	NSPerReadOn      float64 `json:"ns_per_read_on"`
+	AllocsPerReadOff float64 `json:"allocs_per_read_off"`
+	AllocsPerReadOn  float64 `json:"allocs_per_read_on"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// benchObs measures tracing-off vs tracing-on streaming throughput on
+// a sharded index (the traced run exercises the per-shard timing path)
+// and writes the comparison to outPath.
+func benchObs(scale float64, opts jem.Options, w io.Writer, outPath string) error {
+	// Shard the index so the traced passes pay for per-shard clock
+	// reads and the gather span fan-out — the most expensive tracing
+	// configuration, not the cheapest.
+	opts.Shards = 8
+	ds, err := experiments.Build(mustSpec("bsplendens-like"), scale)
+	if err != nil {
+		return err
+	}
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		return err
+	}
+
+	var fastq bytes.Buffer
+	for _, r := range ds.Reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, strings.Repeat("I", len(r.Seq)))
+	}
+	input := fastq.Bytes()
+
+	res := obsResult{
+		Schema:    "jem-bench/obs/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+		Dataset:   ds.Spec.Name,
+		Scale:     scale,
+		Shards:    mapper.Shards(),
+	}
+
+	// The traced passes feed the same sinks a serving request does:
+	// a tail-sampling trace ring and a (ring-only, loggerless)
+	// request log.
+	ring := obs.NewTraceRing(256, 8, 0)
+	reqlog := obs.NewRequestLog(nil, 1, 256, 0)
+
+	// One warmup pass per mode so both measure steady state.
+	untraced := func(ctx context.Context) (jem.Stats, error) {
+		return mapper.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{})
+	}
+	traced := func(ctx context.Context) (jem.Stats, error) {
+		id := obs.NewTraceID()
+		root := obs.NewSpan("request")
+		stats, err := mapper.Stream(obs.ContextWithSpan(ctx, root), bytes.NewReader(input), io.Discard, jem.StreamOptions{})
+		d := root.End()
+		ring.Add(&obs.Trace{ID: id, Root: root, Status: 200, Start: time.Now().Add(-d), Duration: d})
+		reqlog.Record(obs.RequestLogEntry{
+			TraceID: id, Status: 200,
+			Reads: stats.Reads, Mapped: stats.Mapped, Postings: stats.PostingsScanned,
+			ReadWall: stats.ReadWall, MapWall: stats.MapWall, WriteWall: stats.WriteWall,
+			Duration: d,
+		})
+		return stats, err
+	}
+
+	// One warmup pass per mode, then interleaved off/on pass pairs:
+	// alternating modes within the same run cancels machine drift
+	// (thermal throttling, background load) that a sequential
+	// off-block-then-on-block design would charge to one mode.
+	ctx := context.Background()
+	if _, err := untraced(ctx); err != nil {
+		return err
+	}
+	if _, err := traced(ctx); err != nil {
+		return err
+	}
+	var (
+		offNS, onNS         int64
+		offAllocs, onAllocs uint64
+		offReads, onReads   int
+	)
+	for res.PassesOff < 4 || (offNS < int64(2*time.Second) && res.PassesOff < 20) {
+		ns, allocs, reads, err := timedPass(untraced)
+		if err != nil {
+			return err
+		}
+		offNS += ns
+		offAllocs += allocs
+		offReads += reads
+		res.PassesOff++
+		if ns, allocs, reads, err = timedPass(traced); err != nil {
+			return err
+		}
+		onNS += ns
+		onAllocs += allocs
+		onReads += reads
+		res.PassesOn++
+	}
+
+	res.Reads = offReads / res.PassesOff
+	res.NSPerReadOff = float64(offNS) / float64(offReads)
+	res.NSPerReadOn = float64(onNS) / float64(onReads)
+	res.AllocsPerReadOff = float64(offAllocs) / float64(offReads)
+	res.AllocsPerReadOn = float64(onAllocs) / float64(onReads)
+	res.OverheadPct = (res.NSPerReadOn - res.NSPerReadOff) / res.NSPerReadOff * 100
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "observability overhead (%s @ scale %g, shards=%d, %d reads/pass)\n",
+		res.Dataset, res.Scale, res.Shards, res.Reads)
+	fmt.Fprintf(w, "  %12.0f ns/read untraced (%d passes)\n", res.NSPerReadOff, res.PassesOff)
+	fmt.Fprintf(w, "  %12.0f ns/read traced   (%d passes)\n", res.NSPerReadOn, res.PassesOn)
+	fmt.Fprintf(w, "  %12.1f allocs/read untraced\n", res.AllocsPerReadOff)
+	fmt.Fprintf(w, "  %12.1f allocs/read traced\n", res.AllocsPerReadOn)
+	fmt.Fprintf(w, "  %+11.2f%% overhead\n", res.OverheadPct)
+	fmt.Fprintf(w, "  wrote %s\n", outPath)
+	return nil
+}
+
+// timedPass runs one measured pass: GC to a clean slate, run, return
+// wall nanoseconds, mallocs and reads.
+func timedPass(pass func(context.Context) (jem.Stats, error)) (wallNS int64, allocs uint64, reads int, err error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	stats, err := pass(context.Background())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wallNS = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&ms1)
+	return wallNS, ms1.Mallocs - ms0.Mallocs, stats.Reads, nil
+}

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -40,6 +41,18 @@ import (
 	"repro"
 	"repro/internal/obs"
 )
+
+// logger carries the CLI's structured progress log (stderr). Result
+// summaries (printStats, printMapSummary, the distributed step table)
+// stay plain text: they are the run's output, not its log.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+	ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+		if a.Key == slog.TimeKey && len(groups) == 0 {
+			return slog.Attr{} // timestamps are noise on an interactive CLI
+		}
+		return a
+	},
+}))
 
 func main() {
 	var (
@@ -68,6 +81,7 @@ func main() {
 			"serve /metrics, /statusz, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 		metricsLinger = flag.Duration("metrics-linger", 0,
 			"keep the metrics server up this long after the run finishes (lets a scraper collect the final state)")
+		logJSON = flag.Bool("log-json", false, "emit the progress log as JSON lines instead of text")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jem-mapper [flags] contigs.fasta reads.fastq\n")
@@ -77,6 +91,9 @@ func main() {
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	policy, err := jem.ParseBadRecordPolicy(*onBadRecord)
 	if err != nil {
@@ -99,9 +116,9 @@ func main() {
 	defer stop()
 	if err := run(ctx, cfg); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "jem-mapper: interrupted; partial output flushed\n")
+			logger.Warn("interrupted; partial output flushed")
 		} else {
-			fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+			logger.Error("run failed", slog.Any("error", err))
 		}
 		os.Exit(1)
 	}
@@ -138,10 +155,12 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "serving metrics at %s/metrics (also /statusz, /debug/vars, /debug/pprof)\n", srv.URL())
+		logger.Info("serving metrics",
+			slog.String("url", srv.URL()+"/metrics"),
+			slog.String("also", "/statusz /debug/vars /debug/pprof"))
 		defer func() {
 			if cfg.metricsLinger > 0 {
-				fmt.Fprintf(os.Stderr, "metrics server lingering %v\n", cfg.metricsLinger)
+				logger.Info("metrics server lingering", slog.Duration("linger", cfg.metricsLinger))
 				// The linger is interruptible: a signal during it ends the
 				// wait early instead of holding the process hostage.
 				select {
@@ -201,8 +220,10 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d contigs, %d reads in %v\n",
-		len(contigs), len(reads), time.Since(start).Round(time.Millisecond))
+	logger.Info("inputs loaded",
+		slog.Int("contigs", len(contigs)),
+		slog.Int("reads", len(reads)),
+		slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
 
 	out := os.Stdout
 	if cfg.outPath != "" {
@@ -243,7 +264,7 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 		if err := mapper.SaveIndexFile(cfg.saveIndex); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "saved index to %s\n", cfg.saveIndex)
+		logger.Info("index saved", slog.String("path", cfg.saveIndex))
 	}
 
 	mapStart := time.Now()
@@ -290,16 +311,19 @@ func buildMapper(cfg runConfig, contigs []jem.Record, reg *obs.Registry) (*jem.M
 	}
 	switch {
 	case info.FromIndex:
-		fmt.Fprintf(os.Stderr, "loaded index %s (%d contigs)\n", cfg.loadIndex, mapper.NumContigs())
+		logger.Info("index loaded",
+			slog.String("path", cfg.loadIndex), slog.Int("contigs", mapper.NumContigs()))
 	case info.Rebuilt:
-		fmt.Fprintf(os.Stderr, "warning: index %s is corrupt (%v); rebuilding from contigs\n",
-			cfg.loadIndex, info.IndexErr)
-		fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
+		// The message keeps "corrupt" and "rebuilding" verbatim — the
+		// operator-facing contract tests pin those words.
+		logger.Warn("index corrupt; rebuilding from contigs",
+			slog.String("path", cfg.loadIndex), slog.Any("error", info.IndexErr))
+		logger.Info("subjects sketched", slog.Int("subjects", mapper.NumContigs()))
 	default:
-		fmt.Fprintf(os.Stderr, "sketched %d subjects\n", mapper.NumContigs())
+		logger.Info("subjects sketched", slog.Int("subjects", mapper.NumContigs()))
 	}
 	if sh := mapper.Shards(); sh > 1 {
-		fmt.Fprintf(os.Stderr, "serving %d index shards\n", sh)
+		logger.Info("serving sharded index", slog.Int("shards", sh))
 	}
 	return mapper, nil
 }
@@ -356,7 +380,11 @@ func mapStreaming(ctx context.Context, mapper *jem.Mapper, cfg runConfig, out *o
 			err = cerr
 		}
 		if stats.Quarantined > 0 {
-			fmt.Fprintf(os.Stderr, "quarantined %d bad records to %s\n", stats.Quarantined, cfg.quarantinePath)
+			// fmt.Sprintf keeps the "quarantined N bad records" phrasing
+			// the CLI contract tests pin.
+			logger.Warn(fmt.Sprintf("quarantined %d bad records to %s", stats.Quarantined, cfg.quarantinePath),
+				slog.Int("quarantined", stats.Quarantined),
+				slog.String("sidecar", cfg.quarantinePath))
 		}
 	}
 	return stats, err

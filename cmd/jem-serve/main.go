@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -70,6 +71,13 @@ func main() {
 		defTO    = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = none)")
 		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+
+		traceRing   = flag.Int("trace-ring", 256, "completed request traces retained at /debug/traces")
+		traceSample = flag.Int("trace-sample", 8, "keep 1 in N ok-and-fast traces (errors/slow/p99 always kept)")
+		slowReq     = flag.Duration("slow-request", time.Second, "latency threshold that marks a request slow and arms the flight recorder (0 = off)")
+		flightRing  = flag.Int("flight-ring", 16, "flight-recorder snapshots retained at /debug/flight")
+		logSample   = flag.Int("log-sample", 1, "emit 1 in N ok request log lines (errors/slow always logged)")
+		logText     = flag.Bool("log-text", false, "log human-readable text instead of JSON")
 	)
 	flag.Var(&indexes, "index", "serve a saved index: name=path (repeatable)")
 	flag.Var(&contigs, "contigs", "build and serve an index from contigs: name=path (repeatable)")
@@ -82,12 +90,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(indexes, contigs, config{
+	var handler slog.Handler = slog.NewJSONHandler(os.Stderr, nil)
+	if *logText {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	if err := run(logger, indexes, contigs, config{
 		addr: *addr, k: *k, w: *w, t: *t, l: *l, seed: *seed, shards: *shards,
 		inflight: *inflight, queue: *queue, reqWork: *reqWork,
 		defTO: *defTO, maxTO: *maxTO, drainTO: *drainTO,
+		traceRing: *traceRing, traceSample: *traceSample, slowReq: *slowReq,
+		flightRing: *flightRing, logSample: *logSample,
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "jem-serve: %v\n", err)
+		logger.Error("jem-serve failed", slog.Any("error", err))
 		os.Exit(1)
 	}
 }
@@ -99,9 +114,13 @@ type config struct {
 	shards                   int
 	inflight, queue, reqWork int
 	defTO, maxTO, drainTO    time.Duration
+
+	traceRing, traceSample int
+	slowReq                time.Duration
+	flightRing, logSample  int
 }
 
-func run(indexes, contigs namedPaths, cfg config) error {
+func run(logger *slog.Logger, indexes, contigs namedPaths, cfg config) error {
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
 		MaxInFlight:       cfg.inflight,
@@ -110,6 +129,12 @@ func run(indexes, contigs namedPaths, cfg config) error {
 		DefaultTimeout:    cfg.defTO,
 		MaxTimeout:        cfg.maxTO,
 		Registry:          reg,
+		TraceRing:         cfg.traceRing,
+		TraceSampleN:      cfg.traceSample,
+		SlowRequest:       cfg.slowReq,
+		FlightRing:        cfg.flightRing,
+		Logger:            logger,
+		LogSampleN:        cfg.logSample,
 	})
 
 	// Contig records given for the same name as an index become load
@@ -136,7 +161,7 @@ func run(indexes, contigs namedPaths, cfg config) error {
 		}
 		srv.AddIndex(ix.name, m)
 		loaded[ix.name] = true
-		logIndex(ix.name, m, "loaded")
+		logIndex(logger, ix.name, m, "loaded")
 	}
 	for _, c := range contigs {
 		if loaded[c.name] {
@@ -147,7 +172,7 @@ func run(indexes, contigs namedPaths, cfg config) error {
 			return fmt.Errorf("building %s: %w", c.name, err)
 		}
 		srv.AddIndex(c.name, m)
-		logIndex(c.name, m, "built")
+		logIndex(logger, c.name, m, "built")
 	}
 
 	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
@@ -157,7 +182,11 @@ func run(indexes, contigs namedPaths, cfg config) error {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "jem-serve: listening on %s (endpoints: /v1/map /v1/indexes /healthz /readyz /metrics)\n", cfg.addr)
+	logger.Info("listening",
+		slog.String("addr", cfg.addr),
+		slog.String("endpoints", "/v1/map /v1/indexes /healthz /readyz /metrics /debug/traces /debug/flight /debug/requests"),
+		slog.Duration("slow_request", cfg.slowReq),
+	)
 
 	// First signal: stop advertising ready, drain in-flight requests,
 	// exit. Second signal (stop() restores default handling): hard kill.
@@ -168,18 +197,23 @@ func run(indexes, contigs namedPaths, cfg config) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(os.Stderr, "jem-serve: draining (grace %v)\n", cfg.drainTO)
+	logger.Info("draining", slog.Duration("grace", cfg.drainTO))
 	srv.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTO)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w (in-flight requests were cut)", err)
 	}
-	fmt.Fprintln(os.Stderr, "jem-serve: drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }
 
-func logIndex(name string, m *jem.Mapper, how string) {
-	fmt.Fprintf(os.Stderr, "jem-serve: %s %q: %d contigs, %d shards, %.1f MiB resident\n",
-		how, name, m.NumContigs(), m.Shards(), float64(m.IndexBytes())/(1<<20))
+func logIndex(logger *slog.Logger, name string, m *jem.Mapper, how string) {
+	logger.Info("index ready",
+		slog.String("name", name),
+		slog.String("source", how),
+		slog.Int("contigs", m.NumContigs()),
+		slog.Int("shards", m.Shards()),
+		slog.Int64("index_bytes", m.IndexBytes()),
+	)
 }

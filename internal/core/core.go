@@ -344,6 +344,22 @@ type Session struct {
 	shards       []shardCounters
 	shardTrials  [][]int32
 	shardTouched []int32
+
+	// Per-shard work tallies for request-scoped tracing: postings are
+	// accumulated always (one slice add per touched shard per query —
+	// noise next to the scan itself); wall time only when timeShards is
+	// set, so untraced runs never pay the clock reads.
+	shardWork  []ShardWork
+	timeShards bool
+}
+
+// ShardWork is one shard's cumulative work as seen by one session:
+// how many postings its scans examined and (when shard timing is
+// enabled) how much wall time they took. It is the per-shard
+// breakdown a request trace attributes scatter-gather time with.
+type ShardWork struct {
+	Postings int64
+	Wall     time.Duration
 }
 
 // shardCounters is one shard's lazy-update counter array (§III-C,
@@ -399,6 +415,21 @@ func (s *Session) Interrupted() bool {
 // postings this session has examined — the dominant unit of query
 // work, surfaced through jem.Stats for serving telemetry.
 func (s *Session) PostingsScanned() int64 { return s.scanned }
+
+// EnableShardTiming turns on per-shard wall-clock accumulation for
+// this session's scatter-gather scans. Off by default: a traced
+// request opts in, an untraced one never reads the clock per shard.
+func (s *Session) EnableShardTiming() { s.timeShards = true }
+
+// ShardWork returns a snapshot of the per-shard work this session has
+// done (empty on an unsharded mapper or before the first sharded
+// query). Wall fields are zero unless EnableShardTiming was called
+// before the queries ran.
+func (s *Session) ShardWork() []ShardWork {
+	out := make([]ShardWork, len(s.shardWork))
+	copy(out, s.shardWork)
+	return out
+}
 
 // MapSegment maps one end segment and returns its best hit. ok=false
 // means the segment produced no sketch or no subject was hit in any
@@ -488,6 +519,9 @@ func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word
 	if len(s.shardTrials) < p {
 		s.shardTrials = make([][]int32, p)
 	}
+	if len(s.shardWork) < p {
+		s.shardWork = make([]ShardWork, p)
+	}
 	touched := s.shardTouched[:0]
 	// Scatter: route each trial's probe to the shard owning its word.
 	for t, w := range words {
@@ -500,6 +534,12 @@ func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word
 	qid := s.qid
 	// Per-shard scans: each shard's probes run against that shard's
 	// frozen table only, counting into the shard's own lazy counters.
+	// When shard timing is on, one clock read per shard boundary
+	// attributes the scan wall to the shard that just finished.
+	var prevClock time.Time
+	if s.timeShards {
+		prevClock = time.Now()
+	}
 	for _, sd32 := range touched {
 		sd := int(sd32)
 		sc := s.shardCounter(sd)
@@ -524,6 +564,12 @@ func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word
 			}
 		}
 		s.scanned += scanned
+		s.shardWork[sd].Postings += scanned
+		if s.timeShards {
+			now := time.Now()
+			s.shardWork[sd].Wall += now.Sub(prevClock)
+			prevClock = now
+		}
 		if s.met != nil {
 			s.met.observeShard(sd, scanned)
 		}

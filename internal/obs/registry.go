@@ -237,6 +237,10 @@ func (r *Registry) WriteTable(w io.Writer) error {
 			tb.AddRow(e.name, "histogram", fmt.Sprintf(
 				"n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g",
 				h.Count(), mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)))
+			for _, ex := range h.Exemplars() {
+				tb.AddRow(e.name, "exemplar", fmt.Sprintf(
+					"le=%.3g v=%.3g trace=%s", ex.UpperBound, ex.Value, ex.Label))
+			}
 		}
 	}
 	if _, err := io.WriteString(w, tb.String()); err != nil {

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceID identifies one request's span tree: 8 random-looking bytes
+// rendered as 16 lowercase hex digits. IDs are unique within a
+// process (and collision-unlikely across processes: the sequence is
+// seeded from crypto/rand at startup) without paying a syscall or an
+// allocation per request — generation is one atomic add and a mix.
+type TraceID [8]byte
+
+// traceIDState is the generator state: a crypto/rand-seeded counter
+// whose increments are whitened through the splitmix64 finalizer, the
+// same mixer the sketch shard router trusts for uniformity.
+var traceIDState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		traceIDState.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+}
+
+// NewTraceID returns a fresh process-unique trace ID.
+func NewTraceID() TraceID {
+	x := traceIDState.Add(0x9E3779B97F4A7C15) // golden-ratio increment
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:], x)
+	return id
+}
+
+// String renders the ID as 16 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the zero value (no trace).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// ParseTraceID parses a 16-hex-digit trace ID, the wire form of the
+// X-JEM-Trace-Id header.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: %v", s, err)
+	}
+	return id, nil
+}
+
+// spanCtxKey keys the active request span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the active span.
+// Layers below the request handler (the facade's Stream, the core
+// session path) pick it up with SpanFromContext and attach their
+// phase children to it — the propagation channel that turns one HTTP
+// request into one span tree without threading a tracer through
+// every signature.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil when
+// the caller is not being traced. A nil result is the fast path:
+// untraced runs skip all span work.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

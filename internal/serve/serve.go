@@ -31,8 +31,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro"
@@ -68,6 +70,32 @@ type Config struct {
 	// /metrics; the mappers' own instruments should live in the same
 	// registry (default: a fresh registry).
 	Registry *obs.Registry
+
+	// TraceRing bounds the completed request traces retained at
+	// /debug/traces (default 256).
+	TraceRing int
+	// TraceSampleN keeps 1 in N of the ok-and-fast traces; errors, slow
+	// requests and the p99 latency tail are always kept (default 1 =
+	// keep everything the ring has room for).
+	TraceSampleN int
+	// SlowRequest is the latency threshold marking a request slow: slow
+	// requests are always retained in the trace ring, always emitted to
+	// the request log, and trigger the flight recorder (default 0 =
+	// no threshold, flight recorder off).
+	SlowRequest time.Duration
+	// FlightRing bounds the flight snapshots retained at /debug/flight
+	// (default 16).
+	FlightRing int
+	// Logger receives the sampled structured request log, one line per
+	// selected request (default nil: no log emission; the
+	// /debug/requests ring still fills).
+	Logger *slog.Logger
+	// LogSampleN emits 1 in N ok request-log lines through Logger;
+	// errors and slow requests are always emitted (default 1).
+	LogSampleN int
+	// RequestLogRing bounds the request-log entries retained at
+	// /debug/requests (default 256).
+	RequestLogRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +123,21 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
+	if c.TraceSampleN <= 0 {
+		c.TraceSampleN = 1
+	}
+	if c.FlightRing <= 0 {
+		c.FlightRing = 16
+	}
+	if c.LogSampleN <= 0 {
+		c.LogSampleN = 1
+	}
+	if c.RequestLogRing <= 0 {
+		c.RequestLogRing = 256
+	}
 	return c
 }
 
@@ -121,6 +164,16 @@ type Server struct {
 	met     serveMetrics
 	mux     *http.ServeMux
 
+	// Request-scoped observability: the tail-sampling trace ring
+	// (/debug/traces), the slow-request flight recorder (/debug/flight),
+	// the structured request log (/debug/requests), and the live
+	// in-flight table snapshotted into flight captures.
+	traces      *obs.TraceRing
+	flight      *obs.FlightRecorder
+	reqlog      *obs.RequestLog
+	inflightMu  sync.Mutex
+	inflightTab map[obs.TraceID]inflightEntry
+
 	draining chan struct{} // closed by BeginDrain
 }
 
@@ -144,7 +197,11 @@ func New(cfg Config) *Server {
 			swaps:    reg.Counter("jem_serve_index_swaps_total", "index hot-swaps completed"),
 			latency:  reg.Histogram("jem_serve_request_seconds", "mapping request latency", obs.LatencyBuckets()),
 		},
-		draining: make(chan struct{}),
+		traces:      obs.NewTraceRing(cfg.TraceRing, cfg.TraceSampleN, cfg.SlowRequest),
+		flight:      obs.NewFlightRecorder(cfg.SlowRequest, cfg.FlightRing, flightMinGap),
+		reqlog:      obs.NewRequestLog(cfg.Logger, cfg.LogSampleN, cfg.RequestLogRing, cfg.SlowRequest),
+		inflightTab: make(map[obs.TraceID]inflightEntry),
+		draining:    make(chan struct{}),
 	}
 	reg.GaugeFunc("jem_serve_inflight", "mapping requests currently running",
 		func() float64 { return float64(s.adm.InFlight()) })
@@ -158,6 +215,10 @@ func New(cfg Config) *Server {
 			}
 			return float64(n)
 		})
+	reg.GaugeFunc("jem_serve_traces_retained", "request traces currently retained in the trace ring",
+		func() float64 { return float64(s.traces.Len()) })
+	reg.GaugeFunc("jem_serve_flight_captures", "flight-recorder snapshots taken since start",
+		func() float64 { return float64(s.flight.Captures()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.handleMap)
@@ -168,6 +229,9 @@ func New(cfg Config) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	obs.Mount(mux, reg)
 	s.mux = mux
 	return s
@@ -251,48 +315,61 @@ func (s *Server) requestDeadline(r *http.Request) (context.Context, context.Canc
 // handleMap is the mapping endpoint: FASTA/FASTQ body in (optionally
 // Content-Encoding: gzip), TSV (default) or NDJSON (?format=json)
 // rows out, streamed. Stats land in the X-JEM-* response headers when
-// the response is small enough to commit atomically.
+// the response is small enough to commit atomically. Every response —
+// success or any rejection — carries an X-JEM-Trace-Id header; the
+// deferred reqObs.finish routes the request into the trace ring, the
+// request log and (when slow) the flight recorder.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	ro := s.beginRequest(w, r)
+	defer ro.finish()
+
 	ix, err := s.targetIndex(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		ro.httpError(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	ro.setIndex(ix.name)
 	q := r.URL.Query()
 	format := q.Get("format")
 	if format == "" {
 		format = "tsv"
 	}
 	if format != "tsv" && format != "json" {
-		http.Error(w, fmt.Sprintf("bad format %q (want tsv or json)", format), http.StatusBadRequest)
+		ro.httpError(w, fmt.Sprintf("bad format %q (want tsv or json)", format), http.StatusBadRequest)
 		return
 	}
 	policy := jem.BadRecordFail
 	if p := q.Get("on_bad_record"); p != "" {
 		policy, err = jem.ParseBadRecordPolicy(p)
 		if err != nil || policy == jem.BadRecordQuarantine {
-			http.Error(w, "bad on_bad_record (want fail or skip)", http.StatusBadRequest)
+			ro.httpError(w, "bad on_bad_record (want fail or skip)", http.StatusBadRequest)
 			return
 		}
 	}
 	ctx, cancel, err := s.requestDeadline(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		ro.httpError(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	defer cancel()
 
 	// Admission: bounded concurrency, bounded queue, 429 on overflow.
+	// The wait is a child span, so queueing time is separated from
+	// mapping time in the trace.
+	admit := ro.root.Child("admission")
 	release, err := s.adm.admit(ctx)
+	ro.admWait = admit.End()
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.met.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			ro.httpError(w, "server at capacity", http.StatusTooManyRequests)
 			return
 		}
-		s.finishErr(w, nil, err, start) // queued past the deadline
+		// Queued past the deadline (or the client gave up waiting).
+		ro.timed = true
+		status, msg := s.classify(err)
+		ro.httpError(w, msg, status)
 		return
 	}
 	defer release()
@@ -302,7 +379,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		gz, err := gzip.NewReader(reader)
 		if err != nil {
-			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			ro.httpError(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 		defer gz.Close()
@@ -311,6 +388,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 
 	v := ix.acquire()
 	defer v.release()
+	ro.root.SetAttr("generation", v.gen)
 
 	dw := newDeferredWriter(w, s.cfg.CommitBytes)
 	var sink io.Writer = dw
@@ -321,13 +399,19 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 	}
 
-	stats, err := v.mapper.Stream(ctx, reader, sink, jem.StreamOptions{
+	// The context now carries the request span: the facade's Stream
+	// attaches its read/sketch/gather/write phase children and
+	// per-shard timings to it.
+	ro.timed = true
+	stats, err := v.mapper.Stream(obs.ContextWithSpan(ctx, ro.root), reader, sink, jem.StreamOptions{
 		Workers:     s.cfg.WorkersPerRequest,
 		OnBadRecord: policy,
 	})
+	ro.stats = stats
 	if err != nil {
-		s.finishErrCommitted(dw, err)
-		s.met.latency.Observe(time.Since(start).Seconds())
+		status, msg := s.classify(err)
+		ro.fail(status, msg)
+		dw.fail(status, msg)
 		return
 	}
 	err = dw.finish(func(h http.Header) {
@@ -341,22 +425,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The response write failed; nothing sensible to send.
 		s.met.canceled.Inc()
+		ro.fail(499, "response write failed: "+err.Error())
 	}
-	s.met.latency.Observe(time.Since(start).Seconds())
-}
-
-// finishErrCommitted maps a mapping-run error onto the response
-// through the deferred writer's partial-free contract.
-func (s *Server) finishErrCommitted(dw *deferredWriter, err error) {
-	status, msg := s.classify(err)
-	dw.fail(status, msg)
-}
-
-// finishErr is the pre-pipeline variant (no rows produced yet).
-func (s *Server) finishErr(w http.ResponseWriter, _ *deferredWriter, err error, start time.Time) {
-	status, msg := s.classify(err)
-	http.Error(w, msg, status)
-	s.met.latency.Observe(time.Since(start).Seconds())
 }
 
 // classify maps run errors to HTTP statuses and moves the failure

@@ -224,6 +224,11 @@ func (m *Mapper) Map(ctx context.Context, reads []Record, opts MapOptions) ([]Ma
 	if workers == 0 {
 		workers = m.opts.Workers
 	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		c := sp.Child("map")
+		c.SetAttr("reads", len(reads))
+		defer c.End()
+	}
 	results, err := m.core.MapReadsContext(ctx, reads, m.opts.SegmentLen, workers)
 	return m.convert(results, reads), err
 }

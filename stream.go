@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/seq"
 )
@@ -234,6 +235,15 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 	if err := opts.validate(); err != nil {
 		return run.stats(), err
 	}
+	// Request-scoped tracing: when the context carries a span (a traced
+	// serving request), this run attaches per-phase children and
+	// per-shard scatter-gather timings to it. Untraced runs skip every
+	// trace-only cost, including the per-shard clock reads.
+	sp := obs.SpanFromContext(ctx)
+	var (
+		shardMu  sync.Mutex
+		shardAgg []core.ShardWork
+	)
 	// Fault-injection points (no-ops unless a test armed them).
 	r = fault.Reader(r)
 	w = fault.Writer(w)
@@ -330,12 +340,20 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 			var mapWall time.Duration
 			defer wg.Done()
 			sess := m.core.NewSession().WithContext(ctx)
+			if sp != nil {
+				sess.EnableShardTiming()
+			}
 			// Runs before wg.Done: the worker's wall time and its
 			// session's posting scans are attributed to this run while
 			// the pipeline is still draining.
 			defer func() {
 				run.addMapWall(mapWall)
 				run.addPostings(sess.PostingsScanned())
+				if sp != nil {
+					shardMu.Lock()
+					shardAgg = mergeShardWork(shardAgg, sess.ShardWork())
+					shardMu.Unlock()
+				}
 			}()
 			for item := range work {
 				t0 := time.Now()
@@ -353,6 +371,11 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 	writeErr, batchErr := m.drainStreamResults(run, w, results, opts.OnBadRecord == BadRecordFail)
 
 	stats := run.stats()
+	if sp != nil {
+		// Workers are all done (drainStreamResults returns only after
+		// the results channel closes), so shardAgg is complete.
+		attachStreamSpans(sp, stats, shardAgg)
+	}
 	switch {
 	case writeErr != nil:
 		return stats, writeErr

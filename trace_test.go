@@ -1,0 +1,168 @@
+package jem_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// spanByName finds the first direct child of sp with the given name.
+func spanByName(sp *obs.Span, name string) *obs.Span {
+	for _, c := range sp.Children() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func attrValue(sp *obs.Span, key string) (any, bool) {
+	for _, a := range sp.Attrs() {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// TestStreamAttachesSpans pins the tracing contract of Stream: when
+// the context carries a span, the run attaches read/sketch/gather/
+// write phase children, per-shard gather children whose postings sum
+// to the run total, and the run stats as attributes. An untraced
+// context attaches nothing.
+func TestStreamAttachesSpans(t *testing.T) {
+	ds := buildSmallDataset(t)
+	opts := jem.DefaultOptions()
+	opts.Shards = 4
+	mapper, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reads, out bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(t.Context(), root)
+	stats, err := mapper.Stream(ctx, &reads, &out, jem.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	for _, phase := range []string{"read", "sketch", "gather", "write"} {
+		if spanByName(root, phase) == nil {
+			t.Errorf("request span missing %q phase child", phase)
+		}
+	}
+	gather := spanByName(root, "gather")
+	if gather == nil {
+		t.Fatal("no gather span")
+	}
+	shardSpans := gather.Children()
+	if len(shardSpans) != 4 {
+		t.Fatalf("gather has %d shard children, want 4", len(shardSpans))
+	}
+	var postings int64
+	var wall int64
+	for _, s := range shardSpans {
+		if !strings.HasPrefix(s.Name(), "shard") {
+			t.Errorf("gather child %q is not a shard span", s.Name())
+		}
+		v, ok := attrValue(s, "postings")
+		if !ok {
+			t.Fatalf("shard span %s has no postings attr", s.Name())
+		}
+		postings += v.(int64)
+		wall += int64(s.Duration())
+	}
+	if postings != stats.PostingsScanned {
+		t.Errorf("per-shard postings sum %d != stats total %d", postings, stats.PostingsScanned)
+	}
+	if wall <= 0 {
+		t.Error("no shard accumulated wall time under tracing")
+	}
+	if v, ok := attrValue(root, "reads"); !ok || v.(int) != stats.Reads {
+		t.Errorf("root reads attr = %v, want %d", v, stats.Reads)
+	}
+	if v, ok := attrValue(root, "mapped"); !ok || v.(int) != stats.Mapped {
+		t.Errorf("root mapped attr = %v, want %d", v, stats.Mapped)
+	}
+
+	// Rendered tree carries the whole story on four lines plus shards.
+	var sb strings.Builder
+	if err := obs.RenderSpan(&sb, root, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"request", "gather", "shard00", "postings="} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Untraced: no span in the context, nothing attached anywhere, and
+	// the run still succeeds (the zero-cost default path).
+	var reads2, out2 bytes.Buffer
+	if err := writeFASTQ(&reads2, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapper.Stream(t.Context(), &reads2, &out2, jem.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSpansUnsharded: a monolithic index has no gather phase —
+// the trace shows read/sketch/write only.
+func TestStreamSpansUnsharded(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, out bytes.Buffer
+	if err := writeFASTQ(&reads, ds.Reads); err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(t.Context(), root)
+	if _, err := mapper.Stream(ctx, &reads, &out, jem.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if spanByName(root, "gather") != nil {
+		t.Error("unsharded stream attached a gather span")
+	}
+	for _, phase := range []string{"read", "sketch", "write"} {
+		if spanByName(root, phase) == nil {
+			t.Errorf("request span missing %q phase child", phase)
+		}
+	}
+}
+
+// TestMapChildSpan: the batch Map entry point contributes a "map"
+// child when traced.
+func TestMapChildSpan(t *testing.T) {
+	ds := buildSmallDataset(t)
+	mapper, err := jem.NewMapper(ds.Contigs, jem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(t.Context(), root)
+	if _, err := mapper.Map(ctx, ds.Reads, jem.MapOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c := spanByName(root, "map")
+	if c == nil {
+		t.Fatal("no map child span")
+	}
+	if !c.Ended() {
+		t.Error("map span left open")
+	}
+	if v, ok := attrValue(c, "reads"); !ok || v.(int) != len(ds.Reads) {
+		t.Errorf("map span reads attr = %v, want %d", v, len(ds.Reads))
+	}
+}
