@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix api-check api-update test test-short fault-test serve-smoke obs-smoke bench bench-smoke bench-core bench-obs metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-tests lint-fix api-check api-update test test-short fault-test serve-smoke obs-smoke bench bench-smoke bench-core bench-obs metrics-demo fuzz repro repro-quick clean
 
-all: build vet lint api-check test
+all: build vet lint lint-tests api-check test
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,18 @@ vet:
 
 # Custom static analysis (cmd/jem-vet, internal/lint): hot-path
 # allocation discipline, atomic-access consistency, lock hygiene,
-# serialization error sinks, map-order determinism. The whole repo
-# must pass clean; see docs/STATIC_ANALYSIS.md.
+# serialization error sinks, map-order determinism, plus the
+# CFG-backed generation-2 analyzers (context propagation, span
+# lifecycle, goroutine supervision, deprecated-API callers). The
+# whole repo must pass clean; see docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/jem-vet ./...
+
+# lint-tests re-runs the analyzers over the test variants of every
+# package (_test.go files included, loaded via `go list -test`), so
+# test helpers meet the same error-handling and span-hygiene bar.
+lint-tests:
+	$(GO) run ./cmd/jem-vet -tests ./...
 
 # lint-fix auto-fixes what tooling can (gofmt -s), then prints the
 # remaining jem-vet diagnostics verbosely with clickable file:line:

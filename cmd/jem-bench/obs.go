@@ -96,7 +96,7 @@ func benchObs(scale float64, opts jem.Options, w io.Writer, outPath string) erro
 		stats, err := mapper.Stream(obs.ContextWithSpan(ctx, root), bytes.NewReader(input), io.Discard, jem.StreamOptions{})
 		d := root.End()
 		ring.Add(&obs.Trace{ID: id, Root: root, Status: 200, Start: time.Now().Add(-d), Duration: d})
-		reqlog.Record(obs.RequestLogEntry{
+		reqlog.Record(ctx, obs.RequestLogEntry{
 			TraceID: id, Status: 200,
 			Reads: stats.Reads, Mapped: stats.Mapped, Postings: stats.PostingsScanned,
 			ReadWall: stats.ReadWall, MapWall: stats.MapWall, WriteWall: stats.WriteWall,

@@ -284,7 +284,7 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 		printMapSummary(os.Stderr, reg, time.Since(mapStart))
 		return mapper.WritePAF(out, pms, reads)
 	}
-	mappings, mapErr := mapper.MapReadsContext(ctx, reads)
+	mappings, mapErr := mapper.Map(ctx, reads, jem.MapOptions{})
 	printMapSummary(os.Stderr, reg, time.Since(mapStart))
 	// On cancellation the completed prefix is still written, so an
 	// interrupted run leaves a well-formed (partial) table behind.
@@ -369,7 +369,7 @@ func mapStreaming(ctx context.Context, mapper *jem.Mapper, cfg runConfig, out *o
 		opts.Quarantine = sidecar
 	}
 	bw := bufio.NewWriterSize(out, 1<<16)
-	stats, err := mapper.MapStreamContext(ctx, src, bw, opts)
+	stats, err := mapper.Stream(ctx, src, bw, opts)
 	if ferr := bw.Flush(); err == nil {
 		err = ferr
 	}

@@ -3,6 +3,8 @@
 //
 //	jem-vet ./...                  # whole repo, all analyzers
 //	jem-vet -run errsink ./paf.go  # one analyzer (patterns are go list patterns)
+//	jem-vet -tests ./...           # analyze _test.go files too
+//	jem-vet -json report.json ./...# also write machine-readable findings
 //	jem-vet -list                  # what's in the suite
 //
 // Diagnostics print as file:line:col: message (analyzer) — clickable
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +28,11 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available analyzers and exit")
-		run     = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		verbose = flag.Bool("v", false, "also print suppressed diagnostics and per-analyzer totals")
+		list     = flag.Bool("list", false, "list available analyzers and exit")
+		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		verbose  = flag.Bool("v", false, "also print suppressed diagnostics and per-analyzer totals")
+		tests    = flag.Bool("tests", false, "also analyze _test.go files (in-package and external test packages)")
+		jsonPath = flag.String("json", "", "write machine-readable diagnostics (including suppressed) to this file")
 	)
 	flag.Parse()
 
@@ -57,13 +62,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(cwd, patterns...)
+	load := lint.Load
+	if *tests {
+		load = lint.LoadTests
+	}
+	pkgs, err := load(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	res := lint.Run(analyzers, pkgs)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, cwd, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	active := 0
 	for _, d := range res.Diagnostics {
 		if d.Suppressed {
@@ -112,8 +127,52 @@ func suppressionBreakdown(m map[string]int) string {
 // so CI logs and editors get clickable file:line:col prefixes.
 func relativize(cwd string, d lint.Diagnostic) string {
 	s := d.String()
-	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+	if rel, ok := relPath(cwd, d.Pos.Filename); ok {
 		s = fmt.Sprintf("%s:%d:%d: %s (%s)", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 	}
 	return s
+}
+
+func relPath(cwd, filename string) (string, bool) {
+	rel, err := filepath.Rel(cwd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	return rel, true
+}
+
+// jsonDiagnostic is the machine-readable form of one finding, written
+// by -json for CI artifacts and downstream tooling. Suppressed
+// findings are included (marked) so a report consumer can audit the
+// //jem:nolint inventory without re-running the analysis.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func writeJSON(path, cwd string, res lint.Result) error {
+	out := make([]jsonDiagnostic, 0, len(res.Diagnostics))
+	for _, d := range res.Diagnostics {
+		file := d.Pos.Filename
+		if rel, ok := relPath(cwd, file); ok {
+			file = rel
+		}
+		out = append(out, jsonDiagnostic{
+			File:       file,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

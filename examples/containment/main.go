@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,7 +55,11 @@ func main() {
 
 	// 1. Classic end-segment mapping sees only the flanking contigs.
 	fmt.Println("end-segment mapping:")
-	for _, m := range mapper.MapReads([]jem.Record{readRec}) {
+	endMappings, err := mapper.Map(context.Background(), []jem.Record{readRec}, jem.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range endMappings {
 		fmt.Printf("  %s %s -> %s (shared trials %d)\n", m.ReadID, m.End, m.ContigID, m.SharedTrials)
 	}
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,7 +62,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	shared := mapper.MapReads(ds.Reads)
+	shared, err := mapper.Map(context.Background(), ds.Reads, jem.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	same := len(shared) == len(out.Mappings)
 	for i := 0; same && i < len(shared); i++ {
 		if shared[i] != out.Mappings[i] {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -65,7 +66,11 @@ func main() {
 	half := len(ds.Reads) / 2
 	for run, batch := range [][]jem.Record{ds.Reads[:half], ds.Reads[half:]} {
 		mapped := 0
-		for _, m := range loaded.MapReads(batch) {
+		batchMappings, err := loaded.Map(context.Background(), batch, jem.MapOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range batchMappings {
 			if m.Mapped {
 				mapped++
 			}
@@ -83,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer rf.Close()
-	stats, err := loaded.MapStream(rf, &fastq)
+	stats, err := loaded.Stream(context.Background(), rf, &fastq, jem.StreamOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

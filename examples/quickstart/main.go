@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,10 @@ func main() {
 	}
 
 	// 3. Map both end segments of every long read.
-	mappings := mapper.MapReads(ds.Reads)
+	mappings, err := mapper.Map(context.Background(), ds.Reads, jem.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	mapped := 0
 	for _, m := range mappings {
 		if m.Mapped {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -36,7 +37,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mappings := mapper.MapReads(ds.Reads)
+	mappings, err := mapper.Map(context.Background(), ds.Reads, jem.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Chain contigs through reads bridging two different contigs.
 	// Requiring >=2 supporting reads suppresses chimeric links.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		jq := bench.Evaluate(mapper.MapReads(ds.Reads))
+		sweepMappings, err := mapper.Map(context.Background(), ds.Reads, jem.MapOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jq := bench.Evaluate(sweepMappings)
 
 		mh, err := jem.NewMinHashMapper(ds.Contigs, opts)
 		if err != nil {

@@ -871,6 +871,8 @@ func (m *Mapper) MapReads(reads []seq.Record, l int, workers int) []Result {
 
 // MapReadsTimed is MapReads plus the query-phase wall time, which the
 // experiment harness uses for throughput accounting (Fig. 7b).
+//
+//jem:detached offline batch entry point: no request to inherit from
 func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result, time.Duration) {
 	start := time.Now()
 	results, _ := m.MapReadsContext(context.Background(), reads, l, workers)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -273,6 +274,8 @@ type BubbleVariant struct {
 
 // AblationBubbles synthesizes a diploid dataset twice (identical
 // seeds, popping toggled) and maps + evaluates both.
+//
+//jem:detached offline experiment harness: no request scope to inherit
 func AblationBubbles(genomeLen int, het float64, opts jem.Options) (*BubbleAblation, error) {
 	run := func(disable bool) (BubbleVariant, error) {
 		ds, err := jem.Synthesize(jem.SynthesisConfig{
@@ -294,11 +297,15 @@ func AblationBubbles(genomeLen int, het float64, opts jem.Options) (*BubbleAblat
 		if err != nil {
 			return BubbleVariant{}, err
 		}
+		mappings, err := mapper.Map(context.Background(), ds.Reads, jem.MapOptions{})
+		if err != nil {
+			return BubbleVariant{}, err
+		}
 		return BubbleVariant{
 			Contigs:       len(ds.Contigs),
 			ContigN50:     ds.AssemblyStats.N50,
 			BubblesPopped: ds.AssemblyStats.BubblesPopped,
-			Quality:       bench.Evaluate(mapper.MapReads(ds.Reads)),
+			Quality:       bench.Evaluate(mappings),
 		}, nil
 	}
 	out := &BubbleAblation{Heterozygosity: het}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,6 +31,8 @@ type CoveragePoint struct {
 // quantifying the paper's motivating claim that hybrid scaffolding
 // works at low long-read coverage ("decreased coverage (and cost) in
 // long read sequencing", §I).
+//
+//jem:detached offline experiment harness: no request scope to inherit
 func CoverageSweep(spec Spec, scale float64, coverages []float64, opts jem.Options) ([]CoveragePoint, error) {
 	d, err := Build(spec, scale)
 	if err != nil {
@@ -55,7 +58,10 @@ func CoverageSweep(spec Spec, scale float64, coverages []float64, opts jem.Optio
 		if err != nil {
 			return nil, err
 		}
-		mappings := mapper.MapReads(reads)
+		mappings, err := mapper.Map(context.Background(), reads, jem.MapOptions{})
+		if err != nil {
+			return nil, err
+		}
 		q := evalQuality(b, mappings)
 
 		scaffolds := jem.BuildScaffolds(mappings, len(d.Contigs), 2)

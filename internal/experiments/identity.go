@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,6 +25,8 @@ type IdentityResult struct {
 // Fig9 maps the real-data stand-in and aligns every mapped segment to
 // its reported contig (the paper used BLAST here), collecting the
 // identity distribution. maxPairs bounds alignment work (0 = all).
+//
+//jem:detached offline experiment harness: no request scope to inherit
 func Fig9(spec Spec, scale float64, opts jem.Options, maxPairs int) (*IdentityResult, error) {
 	d, err := Build(spec, scale)
 	if err != nil {
@@ -33,7 +36,10 @@ func Fig9(spec Spec, scale float64, opts jem.Options, maxPairs int) (*IdentityRe
 	if err != nil {
 		return nil, err
 	}
-	mappings := mapper.MapReads(d.Reads)
+	mappings, err := mapper.Map(context.Background(), d.Reads, jem.MapOptions{})
+	if err != nil {
+		return nil, err
+	}
 
 	type pair struct {
 		segment []byte

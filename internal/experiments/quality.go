@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,6 +22,8 @@ type QualityRow struct {
 
 // Fig5 reproduces the qualitative comparison of Fig. 5 with the
 // paper's default parameters, plus the seed-and-chain third column.
+//
+//jem:detached offline experiment harness: no request scope to inherit
 func Fig5(specs []Spec, scale float64, opts jem.Options) ([]QualityRow, error) {
 	rows := make([]QualityRow, 0, len(specs))
 	for _, spec := range specs {
@@ -36,7 +39,11 @@ func Fig5(specs []Spec, scale float64, opts jem.Options) ([]QualityRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		jq := bench.Evaluate(mapper.MapReads(d.Reads))
+		jemMappings, err := mapper.Map(context.Background(), d.Reads, jem.MapOptions{})
+		if err != nil {
+			return nil, err
+		}
+		jq := bench.Evaluate(jemMappings)
 
 		baseline := jem.NewMashmapMapper(d.Contigs, opts)
 		mq := bench.Evaluate(baseline.MapReads(d.Reads))
@@ -75,6 +82,8 @@ type TrialsPoint struct {
 // Fig6 reproduces the trial sweep of Fig. 6 on one dataset
 // (B. splendens in the paper): precision/recall of JEM vs classical
 // MinHash as T varies.
+//
+//jem:detached offline experiment harness: no request scope to inherit
 func Fig6(spec Spec, scale float64, trials []int, base jem.Options) ([]TrialsPoint, error) {
 	d, err := Build(spec, scale)
 	if err != nil {
@@ -92,7 +101,11 @@ func Fig6(spec Spec, scale float64, trials []int, base jem.Options) ([]TrialsPoi
 		if err != nil {
 			return nil, err
 		}
-		jq := bench.Evaluate(mapper.MapReads(d.Reads))
+		jemMappings, err := mapper.Map(context.Background(), d.Reads, jem.MapOptions{})
+		if err != nil {
+			return nil, err
+		}
+		jq := bench.Evaluate(jemMappings)
 
 		mh, err := jem.NewMinHashMapper(d.Contigs, opts)
 		if err != nil {

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detachedMarker is the doc-comment annotation that exempts a function
+// from context-propagation checking: the function deliberately runs
+// detached from any request (an offline batch harness, a deprecated
+// compatibility wrapper). The annotation is a statement of intent a
+// reviewer can grep for; use it sparingly and say why in the comment.
+const detachedMarker = "//jem:detached"
+
+// CtxFlow enforces the context-propagation discipline the serving
+// tier depends on (PR 4 threaded context.Context through every mapping
+// path; PR 6/7 built cancellation and tracing on top of it — both are
+// silently defeated by a detached context):
+//
+//  1. context.Background() / context.TODO() are forbidden in library
+//     code. A background context severs cancellation and trace
+//     propagation for everything downstream. Allowed in package main
+//     (the process root owns its lifecycle), in test files, and in
+//     functions annotated //jem:detached.
+//  2. A function that receives a context.Context must thread it: if
+//     the parameter is never referenced while the body calls
+//     context-accepting callees, the function is swallowing its
+//     caller's cancellation scope.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be threaded to callees; no detached Background/TODO contexts in library code",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			detached := hasAnnotation(fd.Doc, detachedMarker)
+			inTest := isTestFile(pass.Fset, fd.Pos())
+			if inTest || detached {
+				continue
+			}
+			if !isMain {
+				reportDetachedContexts(pass, fd)
+			}
+			reportUnthreadedContext(pass, fd)
+		}
+	}
+}
+
+// reportDetachedContexts flags context.Background()/TODO() anywhere in
+// the function, including nested literals (a closure inherits its
+// declaration's annotation — it runs on behalf of the same function).
+func reportDetachedContexts(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFunc(pass.Info, call); ok && path == "context" && (name == "Background" || name == "TODO") {
+			pass.Report(call.Pos(),
+				"context.%s() detaches %s from its caller's cancellation and trace scope; thread a ctx parameter (or annotate the function %s and say why)",
+				name, funcDisplayName(fd), detachedMarker)
+		}
+		return true
+	})
+}
+
+// reportUnthreadedContext flags a context.Context parameter that is
+// never referenced while the body calls context-accepting callees.
+func reportUnthreadedContext(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	var ctxParams []*types.Var
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !namedTypeIs(t, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+				ctxParams = append(ctxParams, obj)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	callees := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.Info.Uses[x].(*types.Var); ok {
+				used[obj] = true
+			}
+		case *ast.CallExpr:
+			if contextAcceptingCall(pass.Info, x) {
+				callees++
+			}
+		}
+		return true
+	})
+	if callees == 0 {
+		return
+	}
+	for _, p := range ctxParams {
+		if !used[p] {
+			pass.Report(fd.Name.Pos(),
+				"%s receives %s context.Context but never threads it while calling %d context-accepting callee(s); pass the ctx through (or name the parameter _ if detachment is intended)",
+				funcDisplayName(fd), p.Name(), callees)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// reproPkgPath is the module root package, where the public Mapper
+// facade lives.
+const reproPkgPath = "repro"
+
+// deprecatedMapperMethods maps each deprecated compatibility wrapper
+// on repro.Mapper to its canonical replacement. PR 5 consolidated the
+// public API on Map/Stream (context-first, options-struct); the old
+// entry points were kept as thin delegating wrappers so external
+// callers keep compiling — but internal code has no excuse to route
+// through them, and every internal call is one more reason the
+// wrappers can never be deleted.
+var deprecatedMapperMethods = map[string]string{
+	"MapReads":         "Map",
+	"MapReadsContext":  "Map",
+	"MapStream":        "Stream",
+	"MapStreamContext": "Stream",
+}
+
+// DeprecatedAPI flags internal (in-module, non-test) callers of the
+// deprecated repro.Mapper wrappers. Test files are exempt: the
+// delegation behavior of each wrapper is pinned by tests that must
+// keep calling it. The wrapper definitions themselves (package repro)
+// are exempt for the same reason.
+//
+// Like hotpathalloc's required-annotation table, the method table is
+// guarded against staleness: when the analyzer visits package repro
+// it verifies every listed method still exists, so a rename or
+// removal breaks the lint run instead of silently disabling the
+// check.
+var DeprecatedAPI = &Analyzer{
+	Name: "deprecatedapi",
+	Doc:  "internal code must call Mapper.Map/Stream, not the deprecated MapReads*/MapStream* wrappers",
+	Run:  runDeprecatedAPI,
+}
+
+func runDeprecatedAPI(pass *Pass) {
+	if pass.Pkg.Path() == reproPkgPath {
+		checkDeprecatedTable(pass)
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, fn, ok := methodCall(pass.Info, call)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != reproPkgPath {
+				return true
+			}
+			canonical, deprecated := deprecatedMapperMethods[fn.Name()]
+			if !deprecated || !namedTypeIs(pass.Info.TypeOf(recv), reproPkgPath, "Mapper") {
+				return true
+			}
+			if isTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"Mapper.%s is a deprecated compatibility wrapper; call Mapper.%s (context-first) so the wrapper can eventually be deleted",
+				fn.Name(), canonical)
+			return true
+		})
+	}
+}
+
+// checkDeprecatedTable verifies, while visiting package repro, that
+// every method in the table still exists on *Mapper.
+func checkDeprecatedTable(pass *Pass) {
+	obj := pass.Pkg.Scope().Lookup("Mapper")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		pass.Report(pass.Files[0].Name.Pos(),
+			"deprecatedapi: package %s no longer declares type Mapper; update the deprecatedMapperMethods table", reproPkgPath)
+		return
+	}
+	mset := types.NewMethodSet(types.NewPointer(tn.Type()))
+	have := make(map[string]bool, mset.Len())
+	for i := 0; i < mset.Len(); i++ {
+		have[mset.At(i).Obj().Name()] = true
+	}
+	for name := range deprecatedMapperMethods {
+		if !have[name] {
+			pass.Report(pass.Files[0].Name.Pos(),
+				"deprecatedapi: repro.Mapper no longer has method %s; update the deprecatedMapperMethods table", name)
+		}
+	}
+}

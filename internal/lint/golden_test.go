@@ -205,6 +205,24 @@ func TestNolintSuppression(t *testing.T) {
 	}
 }
 
+// TestCFGAnalyzerSuppression verifies that each CFG-backed analyzer's
+// fixture carries exactly one //jem:nolint'd site — proving the
+// suppression machinery composes with the new analyzers and that the
+// fixtures' want-counts don't silently absorb a suppressed finding.
+func TestCFGAnalyzerSuppression(t *testing.T) {
+	for _, a := range []*Analyzer{CtxFlow, SpanEnd, GoLeak, DeprecatedAPI} {
+		t.Run(a.Name, func(t *testing.T) {
+			res, wants := runFixture(t, []*Analyzer{a}, a.Name)
+			for _, p := range diffFixture(res, wants) {
+				t.Error(p)
+			}
+			if got := res.Suppressed[a.Name]; got != 1 {
+				t.Errorf("suppressed[%s] = %d, want 1", a.Name, got)
+			}
+		})
+	}
+}
+
 // TestRepoIsClean is `jem-vet ./...` as a test: the whole repository
 // must satisfy its own invariants. This is the enforcement backstop
 // for environments that run `go test ./...` but not `make lint`.
@@ -213,6 +231,25 @@ func TestRepoIsClean(t *testing.T) {
 		t.Skip("type-checks the whole repo; skipped in -short")
 	}
 	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(All(), pkgs)
+	for _, d := range res.Diagnostics {
+		if !d.Suppressed {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestRepoIsCleanWithTests is `jem-vet -tests ./...` as a test: the
+// test variants of every package (with their _test.go files merged
+// in) must satisfy the same invariants as the library code.
+func TestRepoIsCleanWithTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo with tests; skipped in -short")
+	}
+	pkgs, err := LoadTests("../..", "./...")
 	if err != nil {
 		t.Fatal(err)
 	}

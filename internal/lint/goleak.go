@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// GoLeak vets goroutines spawned in library code. A goroutine the
+// spawner can neither stop nor observe is a leak waiting for a
+// refactor: it pins its captured state forever, it races shutdown,
+// and under `go test` it survives the test that started it.
+//
+// Two obligations, checked on the goroutine body:
+//
+//  1. Supervision: the body must carry at least one signal the
+//     outside world can use — a channel receive (ctx.Done() select,
+//     work-queue range), a close() or channel send announcing
+//     completion, or a sync.WaitGroup.Done(). A body with none of
+//     these is invisible: nothing can stop it and nothing can wait
+//     for it.
+//  2. Termination: if the body has no channel receive, its
+//     control-flow graph must reach the exit — a `for {}` of pure
+//     sends or computation runs until process death.
+//
+// The analyzer also flags time.After inside a loop: each iteration
+// allocates a fresh runtime timer that is not collected until it
+// fires, so a tight poll loop churns timers at the poll rate. Hoist
+// a time.NewTicker (or NewTimer + Reset) out of the loop.
+//
+// Scope: non-main packages, non-test files, `go func(){...}` literals
+// only (a named-function goroutine is checked where the function is
+// declared, if it is ever also spawned with a literal; otherwise it
+// is out of intra-procedural reach).
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "library goroutines must be stoppable or observable; no time.After timer churn in loops",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			checkGoroutines(pass, fd.Body)
+			checkTimerChurn(pass, fd.Body)
+		}
+	}
+}
+
+// checkGoroutines analyzes every `go func(){...}()` in the body,
+// wherever it is nested.
+func checkGoroutines(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // named-function goroutine: body out of reach here
+		}
+		signal, receive := goroutineSignals(pass, lit.Body)
+		if !signal {
+			pass.Report(gs.Pos(),
+				"goroutine has no termination or completion signal (no channel receive, close, send, or WaitGroup.Done); the spawner can neither stop it nor observe its exit")
+			return true
+		}
+		if !receive {
+			g := cfg.New(lit.Body, cfg.WithTerminating(func(c *ast.CallExpr) bool {
+				return terminatingCall(pass.Info, c)
+			}))
+			if !g.CanReach(g.Entry, g.Exit, nil) {
+				pass.Report(gs.Pos(),
+					"goroutine loops forever and has no channel receive that could stop it; give it a ctx.Done() or quit-channel case")
+			}
+		}
+		return true
+	})
+}
+
+// goroutineSignals scans a goroutine body (including nested literals,
+// which commonly hold the deferred completion broadcast) for
+// supervision signals. receive additionally reports a blocking
+// receive or a range over a channel — the forms that double as a
+// termination path when the channel closes.
+func goroutineSignals(pass *Pass, body *ast.BlockStmt) (signal, receive bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				signal, receive = true, true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					signal, receive = true, true
+				}
+			}
+		case *ast.SendStmt:
+			signal = true
+		case *ast.CallExpr:
+			if id, isIdent := x.Fun.(*ast.Ident); isIdent {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					signal = true
+				}
+			}
+			if _, fn, ok := methodCall(pass.Info, x); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				switch fn.Name() {
+				case "Done", "Wait":
+					signal = true
+				}
+			}
+		}
+		return true
+	})
+	return signal, receive
+}
+
+// checkTimerChurn reports time.After calls that execute once per loop
+// iteration. A time.After inside a function literal is attributed to
+// the literal, not the loop that merely declares it.
+func checkTimerChurn(pass *Pass, body *ast.BlockStmt) {
+	type span struct{ pos, end token.Pos }
+	var loops, lits []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		case *ast.FuncLit:
+			lits = append(lits, span{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	innermost := func(spans []span, p token.Pos) (span, bool) {
+		best, found := span{}, false
+		for _, s := range spans {
+			if s.pos <= p && p < s.end && (!found || s.pos > best.pos) {
+				best, found = s, true
+			}
+		}
+		return best, found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFunc(pass.Info, call); !ok || path != "time" || name != "After" {
+			return true
+		}
+		loop, inLoop := innermost(loops, call.Pos())
+		if !inLoop {
+			return true
+		}
+		// A literal declared inside the loop runs on its own schedule;
+		// only flag when the loop is the innermost execution context.
+		if lit, inLit := innermost(lits, call.Pos()); inLit && lit.pos > loop.pos {
+			return true
+		}
+		pass.Report(call.Pos(),
+			"time.After in a loop allocates a fresh timer every iteration (not collected until it fires); hoist a time.NewTicker or time.NewTimer out of the loop")
+		return true
+	})
+}

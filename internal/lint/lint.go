@@ -85,6 +85,10 @@ func All() []*Analyzer {
 		LockedBlock,
 		ErrSink,
 		MapOrder,
+		CtxFlow,
+		SpanEnd,
+		GoLeak,
+		DeprecatedAPI,
 	}
 }
 

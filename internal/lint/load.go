@@ -41,17 +41,28 @@ type listedPkg struct {
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
+	// ForTest and ImportMap only appear under -test: ForTest names the
+	// package a test variant was compiled for; ImportMap redirects
+	// source-level import paths to test-variant packages.
+	ForTest   string
+	ImportMap map[string]string
 }
 
 // goList shells out to the go tool for package metadata plus compiled
 // export data: `go list -deps -export` writes every dependency's
 // export file into the build cache and reports its path, which is
-// what lets the type-checker resolve imports without x/tools.
-func goList(dir string, patterns ...string) ([]listedPkg, error) {
-	args := append([]string{
-		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Incomplete",
-	}, patterns...)
+// what lets the type-checker resolve imports without x/tools. With
+// tests set, the test graph is included (-test): each package with
+// test files additionally appears as a test-augmented variant
+// ("foo [foo.test]") whose GoFiles merge in the _test.go sources.
+func goList(dir string, tests bool, patterns ...string) ([]listedPkg, error) {
+	args := []string{"list", "-deps", "-export"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,ForTest,ImportMap")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	out, err := cmd.Output()
@@ -103,7 +114,7 @@ func newInfo() *types.Info {
 // matched non-standard package from source, and type-checks it
 // against export data. Test files are not analyzed.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := goList(dir, patterns...)
+	listed, err := goList(dir, false, patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +140,92 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// LoadTests is Load with the test graph included: each package with
+// test files is analyzed as its test-augmented variant
+// ("foo [foo.test]", same import path compiled with the in-package
+// _test.go files merged in), and external test packages
+// (package foo_test) are analyzed alongside. Skipped: generated
+// .test main packages, plain packages superseded by their own test
+// variant (analyzing both would duplicate every non-test
+// diagnostic), and foreign recompilations — dependencies rebuilt
+// against another package's test variant, which add no new source.
+//
+// Test variants of different packages can map the same source-level
+// import path to different compiled packages, so unlike Load each
+// analyzed package gets its own importer honoring its ImportMap.
+func LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, true, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	augmented := make(map[string]bool)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if base := testBase(p.ImportPath); base != p.ImportPath && base == p.ForTest {
+			augmented[base] = true
+		}
+	}
+	fset := token.NewFileSet()
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Incomplete || len(p.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test-main package
+		}
+		base := testBase(p.ImportPath)
+		switch {
+		case base == p.ImportPath:
+			if augmented[base] {
+				continue // superseded by its own test variant
+			}
+		case base != p.ForTest && base != p.ForTest+"_test":
+			continue // foreign recompilation, no new source
+		}
+		imp := exportImporter(fset, mappedExports(exports, p.ImportMap))
+		pkg, err := checkPackage(fset, imp, base, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// testBase strips the " [foo.test]" variant suffix from an import
+// path reported under -test.
+func testBase(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// mappedExports resolves one package's view of the export table:
+// source-level import paths redirected by its ImportMap point at the
+// mapped variant's export data.
+func mappedExports(exports map[string]string, importMap map[string]string) map[string]string {
+	if len(importMap) == 0 {
+		return exports
+	}
+	out := make(map[string]string, len(exports))
+	for path, file := range exports {
+		out[path] = file
+	}
+	for from, to := range importMap {
+		if file, ok := exports[to]; ok {
+			out[from] = file
+		}
+	}
+	return out
 }
 
 // LoadDir loads a single directory of Go files as one package outside
@@ -176,7 +273,7 @@ func LoadDir(moduleDir, dir string) (*Package, error) {
 		}
 		sort.Strings(paths)
 		if len(paths) > 0 {
-			listed, err := goList(moduleDir, paths...)
+			listed, err := goList(moduleDir, false, paths...)
 			if err != nil {
 				return nil, err
 			}

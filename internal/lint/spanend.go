@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// SpanEnd proves, on the intra-procedural control-flow graph, that
+// every obs span begun in a function is ended on every path to
+// return. An un-ended span never reports its duration, never lands in
+// the tail-sampling ring, and — when it is a request root — pins its
+// children alive; the error path that forgets sp.End() is exactly the
+// path nobody exercises until production.
+//
+// Tracked span sources: obs.Tracer.Start, obs.NewSpan, obs.Span.Child.
+// The analysis is deliberately local and escape-aware: a span that
+// leaves the function (passed as an argument, returned, stored in a
+// struct or captured by a closure) transfers the End obligation to
+// code this analyzer cannot see, so it is skipped rather than
+// guessed at. A `defer sp.End()` on a path discharges that path; so
+// does a direct sp.End() (including `return sp.End()` and
+// `d := sp.End()`).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs span begun must be ended on all paths (defer or every exit edge)",
+	Run:  runSpanEnd,
+}
+
+const obsPkgPath = "repro/internal/obs"
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Analyze the declaration body and every nested function
+			// literal as independent control-flow units.
+			checkSpanUnit(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkSpanUnit(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// spanBeginCall reports whether call begins a span that the caller now
+// owns: Tracer.Start, Span.Child, or NewSpan.
+func spanBeginCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFunc(info, call); ok {
+		return path == obsPkgPath && name == "NewSpan"
+	}
+	if recv, fn, ok := methodCall(info, call); ok && fn.Pkg() != nil && fn.Pkg().Path() == obsPkgPath {
+		t := info.TypeOf(recv)
+		switch fn.Name() {
+		case "Start":
+			return namedTypeIs(t, obsPkgPath, "Tracer")
+		case "Child":
+			return namedTypeIs(t, obsPkgPath, "Span")
+		}
+	}
+	return false
+}
+
+// spanBegin is one tracked span obligation in a unit.
+type spanBegin struct {
+	stmt ast.Stmt // the assignment that begins the span
+	obj  types.Object
+	call *ast.CallExpr
+}
+
+// checkSpanUnit runs the analysis over one function body, treating
+// nested function literals as opaque (spans begun inside them are
+// checked by their own unit; spans from this unit used inside them
+// have escaped).
+func checkSpanUnit(pass *Pass, body *ast.BlockStmt) {
+	begins := collectSpanBegins(pass, body)
+	if len(begins) == 0 {
+		return
+	}
+	var g *cfg.Graph // built lazily: most units have no unresolved span
+	for _, b := range begins {
+		escaped, hasEnd := classifySpanUses(pass, body, b)
+		if escaped {
+			continue
+		}
+		if !hasEnd {
+			pass.Report(b.call.Pos(),
+				"span %s is begun but never ended in this function; its duration is never recorded (call %s.End, or defer it)",
+				b.obj.Name(), b.obj.Name())
+			continue
+		}
+		if g == nil {
+			g = cfg.New(body, cfg.WithTerminating(func(c *ast.CallExpr) bool {
+				return terminatingCall(pass.Info, c)
+			}))
+		}
+		reportUnendedPaths(pass, g, b)
+	}
+}
+
+// collectSpanBegins finds `sp := ....Start(...)` (and =, and var
+// declarations) at statement level, skipping nested literals. A span
+// begun and immediately discarded is reported on the spot.
+func collectSpanBegins(pass *Pass, body *ast.BlockStmt) []*spanBegin {
+	var out []*spanBegin
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok && spanBeginCall(pass.Info, call) {
+				pass.Report(call.Pos(),
+					"span begun and immediately discarded; it can never be ended (assign it and End it, or don't begin it)")
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := x.Rhs[0].(*ast.CallExpr)
+			if !ok || !spanBeginCall(pass.Info, call) {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				out = append(out, &spanBegin{stmt: x, obj: obj, call: call})
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				call, ok := vs.Values[0].(*ast.CallExpr)
+				if !ok || !spanBeginCall(pass.Info, call) {
+					continue
+				}
+				if obj := pass.Info.Defs[vs.Names[0]]; obj != nil {
+					out = append(out, &spanBegin{stmt: x, obj: obj, call: call})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifySpanUses scans every use of the span variable in the unit.
+// A use that is not a direct method call — argument, return value,
+// assignment, composite literal, capture by a nested literal —
+// transfers the End obligation elsewhere: the variable has escaped
+// and the local proof is abandoned.
+func classifySpanUses(pass *Pass, body *ast.BlockStmt, b *spanBegin) (escaped, hasEnd bool) {
+	// Idents that are the receiver of a direct method call: the X of a
+	// SelectorExpr that is the Fun of a CallExpr.
+	methodRecv := make(map[*ast.Ident]string)
+	litIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					methodRecv[id] = sel.Sel.Name
+				}
+			}
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					litIdents[id] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	beginLhs, _ := beginIdent(b.stmt)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == beginLhs {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || obj != b.obj {
+			return true
+		}
+		if litIdents[id] {
+			escaped = true
+			return true
+		}
+		name, isMethod := methodRecv[id]
+		if !isMethod {
+			escaped = true
+			return true
+		}
+		if name == "End" {
+			hasEnd = true
+		}
+		return true
+	})
+	return escaped, hasEnd
+}
+
+// beginIdent extracts the declared/assigned identifier of a begin
+// statement.
+func beginIdent(s ast.Stmt) (*ast.Ident, bool) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		id, ok := x.Lhs[0].(*ast.Ident)
+		return id, ok
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			if vs, ok := gd.Specs[0].(*ast.ValueSpec); ok {
+				return vs.Names[0], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// reportUnendedPaths walks the graph from the begin statement and
+// reports when the exit is reachable without passing a statement that
+// ends the span (a direct call or a defer that registers one).
+func reportUnendedPaths(pass *Pass, g *cfg.Graph, b *spanBegin) {
+	closing := func(s ast.Stmt) bool {
+		found := false
+		inspectSkipFuncLit(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.Info.Uses[id] == b.obj {
+					found = true
+				}
+			}
+			return true
+		})
+		// A defer statement registering End counts wherever it executes.
+		if d, ok := s.(*ast.DeferStmt); ok && !found {
+			if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.Info.Uses[id] == b.obj {
+					found = true
+				}
+			}
+		}
+		return found
+	}
+	beginBlock := g.BlockOf(b.stmt)
+	if beginBlock == nil {
+		return
+	}
+	idx := -1
+	for i, s := range beginBlock.Stmts {
+		if s == b.stmt {
+			idx = i
+			break
+		}
+	}
+	for _, s := range beginBlock.Stmts[idx+1:] {
+		if closing(s) {
+			return // ended (or deferred) in the begin block itself
+		}
+	}
+	blocked := func(blk *cfg.Block) bool {
+		for _, s := range blk.Stmts {
+			if closing(s) {
+				return true
+			}
+		}
+		// A block that ends the process (panic, os.Exit, log.Fatal)
+		// reaches Exit only in the graph, never in a trace: process
+		// death discharges the End obligation.
+		if n := len(blk.Stmts); n > 0 {
+			if es, ok := blk.Stmts[n-1].(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+						return true
+					}
+					if terminatingCall(pass.Info, call) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	if g.CanReach(beginBlock, g.Exit, blocked) {
+		pass.Report(b.call.Pos(),
+			"span %s is not ended on every path to return; some exit path skips %s.End() (defer it right after the begin, or end it on each path)",
+			b.obj.Name(), b.obj.Name())
+	}
+}

@@ -1,0 +1,77 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer:
+// detached context.Background()/TODO() in library code and unthreaded
+// context parameters are flagged; //jem:detached functions, _-named
+// parameters, and functions with no context-accepting callees are not.
+package ctxflow
+
+import "context"
+
+// takesCtx is a context-accepting callee. It receives a ctx but calls
+// nothing context-accepting itself, so ctxflow leaves it alone.
+func takesCtx(ctx context.Context) { _ = ctx }
+
+func badBackground() {
+	takesCtx(context.Background()) // want `context\.Background\(\) detaches badBackground`
+}
+
+func badTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) detaches badTODO`
+}
+
+// badClosure detaches inside a nested literal; the closure runs on
+// behalf of the declaring function and inherits its obligations.
+func badClosure() func() {
+	return func() {
+		takesCtx(context.Background()) // want `context\.Background\(\) detaches badClosure`
+	}
+}
+
+// badUnthreaded receives a context but never passes it on while
+// calling a context-accepting callee — the caller's cancellation
+// scope is silently severed.
+func badUnthreaded(ctx context.Context, n int) { // want `badUnthreaded receives ctx context\.Context but never threads it`
+	for i := 0; i < n; i++ {
+		takesCtx(context.TODO()) // want `context\.TODO\(\) detaches badUnthreaded`
+	}
+}
+
+type worker struct{}
+
+func (w *worker) run(ctx context.Context) { takesCtx(ctx) }
+
+// badMethod exercises the method display name in the diagnostic.
+func (w *worker) badMethod(ctx context.Context) { // want `worker\.badMethod receives ctx context\.Context but never threads it`
+	w.run(context.Background()) // want `context\.Background\(\) detaches worker\.badMethod`
+}
+
+// goodThreaded passes its context through.
+func goodThreaded(ctx context.Context) { takesCtx(ctx) }
+
+// goodDerived threads a derived context; any reference to the
+// parameter counts as threading.
+func goodDerived(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	takesCtx(sub)
+}
+
+// goodNoCallees never calls anything context-accepting, so an unused
+// ctx parameter is interface compliance, not a severed scope.
+func goodNoCallees(ctx context.Context, x int) int { return x * 2 }
+
+// goodUnderscore declares detachment in the signature itself.
+func goodUnderscore(_ context.Context) { takesCtx(context.TODO()) } // want `context\.TODO\(\) detaches goodUnderscore`
+
+// goodDetached runs deliberately outside any request lifecycle — an
+// offline batch entry point. The annotation exempts the whole
+// function from both checks.
+//
+//jem:detached
+func goodDetached(ctx context.Context) {
+	takesCtx(context.Background())
+}
+
+// suppressedBackground is silenced; the suppression meta-test counts it.
+func suppressedBackground() {
+	takesCtx(context.Background()) //jem:nolint(ctxflow)
+}

@@ -1,0 +1,43 @@
+// Package deprecatedapi is the golden fixture for the deprecatedapi
+// analyzer: internal callers of the deprecated MapReads*/MapStream*
+// compatibility wrappers are flagged; the canonical Map/Stream calls
+// are not.
+package deprecatedapi
+
+import (
+	"bytes"
+	"context"
+	"strings"
+
+	jem "repro"
+)
+
+func bad(ctx context.Context, m *jem.Mapper, reads []jem.Record) {
+	m.MapReads(reads)                                                                    // want `Mapper\.MapReads is a deprecated compatibility wrapper`
+	m.MapReadsContext(ctx, reads)                                                        // want `Mapper\.MapReadsContext is a deprecated compatibility wrapper`
+	m.MapStream(strings.NewReader(""), &bytes.Buffer{})                                  // want `Mapper\.MapStream is a deprecated compatibility wrapper`
+	m.MapStreamContext(ctx, strings.NewReader(""), &bytes.Buffer{}, jem.StreamOptions{}) // want `Mapper\.MapStreamContext is a deprecated compatibility wrapper`
+}
+
+func good(ctx context.Context, m *jem.Mapper, reads []jem.Record) error {
+	if _, err := m.Map(ctx, reads, jem.MapOptions{}); err != nil {
+		return err
+	}
+	_, err := m.Stream(ctx, strings.NewReader(""), &bytes.Buffer{}, jem.StreamOptions{})
+	return err
+}
+
+// goodOtherMapper: an unrelated type with the same method name is not
+// the deprecated wrapper.
+type otherMapper struct{}
+
+func (otherMapper) MapReads(reads []jem.Record) {}
+
+func goodOtherType(o otherMapper, reads []jem.Record) {
+	o.MapReads(reads)
+}
+
+// suppressedCall is silenced; the suppression meta-test counts it.
+func suppressedCall(m *jem.Mapper, reads []jem.Record) []jem.Mapping {
+	return m.MapReads(reads) //jem:nolint(deprecatedapi)
+}

@@ -1,0 +1,127 @@
+// Package goleak is the golden fixture for the goleak analyzer:
+// unsupervised goroutines, goroutines that loop forever with nothing
+// to stop them, and per-iteration time.After timers are flagged;
+// WaitGroup workers, ctx.Done selects, completion broadcasts, bounded
+// loops and hoisted tickers are not.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work()     {}
+func use(v int) {}
+
+// badUnsupervised spawns a goroutine nothing can stop or wait for.
+func badUnsupervised() {
+	go func() { // want `goroutine has no termination or completion signal`
+		work()
+	}()
+}
+
+// badForever produces values forever: it has a send (so the spawner
+// can see it's alive) but no receive that could ever stop it.
+func badForever(out chan int) {
+	go func() { // want `goroutine loops forever and has no channel receive`
+		for {
+			out <- 1
+		}
+	}()
+}
+
+// badChurn arms a fresh runtime timer every poll iteration.
+func badChurn(done chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Millisecond): // want `time\.After in a loop allocates a fresh timer`
+			work()
+		case <-done:
+			return
+		}
+	}
+}
+
+// goodWaitGroup is the worker-pool shape: Done announces completion,
+// range over the work channel terminates on close.
+func goodWaitGroup(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			use(j)
+		}
+	}()
+	wg.Wait()
+}
+
+// goodCtxDone selects on cancellation: receive doubles as the
+// termination path.
+func goodCtxDone(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				use(v)
+			}
+		}
+	}()
+}
+
+// goodCloseBroadcast signals exit by closing a channel the spawner
+// can wait on.
+func goodCloseBroadcast() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// goodBounded sends a known number of values, then closes: the loop
+// condition gives the CFG a path to the exit.
+func goodBounded(n int) chan int {
+	out := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	return out
+}
+
+// goodTicker hoists one timer out of the loop instead of arming a new
+// one per iteration.
+func goodTicker(done chan struct{}) {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-done:
+			return
+		}
+	}
+}
+
+// goodLitInLoop declares (but does not run) a literal inside the
+// loop; the time.After belongs to the literal's own schedule.
+func goodLitInLoop(fs []func() <-chan time.Time) {
+	for i := range fs {
+		fs[i] = func() <-chan time.Time { return time.After(time.Second) }
+	}
+}
+
+// suppressedGoroutine is silenced; the suppression meta-test counts it.
+func suppressedGoroutine() {
+	go func() { //jem:nolint(goleak)
+		work()
+	}()
+}

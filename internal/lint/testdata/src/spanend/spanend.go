@@ -1,0 +1,116 @@
+// Package spanend is the golden fixture for the spanend analyzer:
+// spans begun and never ended, ended on only some paths, or discarded
+// at the begin site are flagged; deferred ends, all-path ends,
+// escaping spans, and process-terminating paths are not.
+package spanend
+
+import (
+	"errors"
+	"log"
+
+	"repro/internal/obs"
+)
+
+func badNeverEnded(tr *obs.Tracer) {
+	sp := tr.Start("work") // want `span sp is begun but never ended`
+	sp.SetAttr("k", 1)
+}
+
+func badDiscarded(tr *obs.Tracer) {
+	tr.Start("work") // want `span begun and immediately discarded`
+}
+
+// badErrorPath ends the span only on the happy path — the classic
+// early-return leak this analyzer exists to catch.
+func badErrorPath(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work") // want `span sp is not ended on every path to return`
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// badChild leaks a child span begun from a parent.
+func badChild(parent *obs.Span, fail bool) {
+	c := parent.Child("phase") // want `span c is not ended on every path to return`
+	if fail {
+		return
+	}
+	c.End()
+}
+
+func badNewSpan() *obs.Span {
+	sp := obs.NewSpan("detached") // want `span sp is begun but never ended`
+	sp.SetAttr("k", 2)
+	return obs.NewSpan("other")
+}
+
+// goodDefer is the canonical shape: defer right after the begin
+// covers every path, including ones added later.
+func goodDefer(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// goodAllPaths ends the span explicitly on each exit path.
+func goodAllPaths(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// goodLoopEnd ends the span after a loop the begin dominates.
+func goodLoopEnd(tr *obs.Tracer, n int) {
+	sp := tr.Start("work")
+	for i := 0; i < n; i++ {
+		sp.SetAttr("i", i)
+	}
+	sp.End()
+}
+
+// goodEscapeReturn hands the span to the caller; the End obligation
+// travels with it and the local proof is out of scope.
+func goodEscapeReturn(tr *obs.Tracer) *obs.Span {
+	sp := tr.Start("work")
+	return sp
+}
+
+// goodEscapeArg passes the span to a helper that may end it.
+func goodEscapeArg(tr *obs.Tracer) {
+	sp := tr.Start("work")
+	endElsewhere(sp)
+}
+
+func endElsewhere(sp *obs.Span) { sp.End() }
+
+// goodEscapeClosure captures the span in a literal; the literal's
+// execution time is unknown, so the span is out of local reach.
+func goodEscapeClosure(tr *obs.Tracer) func() {
+	sp := tr.Start("work")
+	return func() { sp.End() }
+}
+
+// goodFatalPath never returns on the error path — process death
+// discharges the End obligation.
+func goodFatalPath(tr *obs.Tracer, fail bool) {
+	sp := tr.Start("work")
+	if fail {
+		log.Fatal("boom")
+	}
+	sp.End()
+}
+
+// suppressedLeak is silenced; the suppression meta-test counts it.
+func suppressedLeak(tr *obs.Tracer) {
+	sp := tr.Start("work") //jem:nolint(spanend)
+	sp.SetAttr("k", 3)
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -111,13 +112,17 @@ func funcDisplayName(fd *ast.FuncDecl) string {
 }
 
 // hasAnnotation reports whether the declaration's doc comment group
-// contains the given //jem:... marker line.
+// contains the given //jem:... marker line. The marker may be followed
+// by free-form text on the same line ("//jem:detached batch tool: no
+// caller scope") — the diagnostics ask authors to say why, so the
+// reason lives next to the marker.
 func hasAnnotation(doc *ast.CommentGroup, marker string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == marker {
+		t := strings.TrimSpace(c.Text)
+		if t == marker || strings.HasPrefix(t, marker+" ") {
 			return true
 		}
 	}
@@ -145,6 +150,65 @@ func errorReturning(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isTestFile reports whether pos lies in a _test.go file — several
+// analyzers (ctxflow, goleak, deprecatedapi) deliberately exempt test
+// code from production-path invariants.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// terminatingCall reports calls that never return — the set the CFG
+// builder treats as edges straight to the exit block: os.Exit,
+// runtime.Goexit, the log.Fatal family, and testing's
+// Fatal/Fatalf/FailNow/Skip family (which call Goexit).
+func terminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFunc(info, call); ok {
+		switch {
+		case path == "os" && name == "Exit":
+			return true
+		case path == "runtime" && name == "Goexit":
+			return true
+		case path == "log" && strings.HasPrefix(name, "Fatal"):
+			return true
+		}
+		return false
+	}
+	if recv, fn, ok := methodCall(info, call); ok && fn.Pkg() != nil && fn.Pkg().Path() == "testing" {
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			_ = recv
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkipFuncLit walks the statement subtree like ast.Inspect but
+// does not descend into function literals — their bodies execute at
+// some other time and belong to a different control-flow analysis.
+func inspectSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// contextAcceptingCall reports whether call's static callee takes a
+// context.Context as its first parameter.
+func contextAcceptingCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return namedTypeIs(sig.Params().At(0).Type(), "context", "Context")
 }
 
 // namedTypeIs reports whether t (after pointer indirection) is the

@@ -88,8 +88,12 @@ func NewRequestLog(logger *slog.Logger, sampleN, capacity int, slow time.Duratio
 }
 
 // Record rings e and emits it through the logger when the sampling
-// policy selects it.
-func (l *RequestLog) Record(e RequestLogEntry) {
+// policy selects it. The caller's ctx is handed to the slog handler,
+// which may carry request-scoped correlation values; Record itself
+// does not block on it. Callers logging after the request is done
+// should pass context.WithoutCancel of the request context rather
+// than a detached Background.
+func (l *RequestLog) Record(ctx context.Context, e RequestLogEntry) {
 	l.mu.Lock()
 	l.seen++
 	emit := false
@@ -116,7 +120,7 @@ func (l *RequestLog) Record(e RequestLogEntry) {
 	l.mu.Unlock()
 
 	if emit {
-		l.logger.LogAttrs(context.Background(), levelFor(e.Status), "map request",
+		l.logger.LogAttrs(ctx, levelFor(e.Status), "map request",
 			slog.String("trace_id", e.TraceID.String()),
 			slog.String("index", e.Index),
 			slog.Int("status", e.Status),

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -67,10 +68,12 @@ func TestTracerRootsBounded(t *testing.T) {
 	if d := tr.Dropped(); d != 10000-16 {
 		t.Errorf("Dropped = %d, want %d", d, 10000-16)
 	}
-	// The default constructor is bounded too.
+	// The default constructor is bounded too. The spans are begun and
+	// deliberately dropped: the assertion below is that the ring stays
+	// bounded no matter how many roots are abandoned.
 	def := NewTracer()
 	for i := 0; i < 2*defaultTracerRoots; i++ {
-		def.Start("r")
+		def.Start("r") //jem:nolint(spanend) bounding test leaks on purpose
 	}
 	if n := len(def.Roots()); n != defaultTracerRoots {
 		t.Errorf("default tracer retained %d roots, want %d", n, defaultTracerRoots)
@@ -337,12 +340,12 @@ func TestRequestLogSamplingAndBound(t *testing.T) {
 	// Sample 1-in-10 ok lines; errors always emit; ring holds 32.
 	l := NewRequestLog(logger, 10, 32, 50*time.Millisecond)
 	for i := 0; i < 100; i++ {
-		l.Record(RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
+		l.Record(context.Background(), RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
 			Status: 200, Reads: 1, Duration: time.Millisecond})
 	}
-	l.Record(RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
+	l.Record(context.Background(), RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
 		Status: 504, Err: "deadline", Duration: time.Millisecond})
-	l.Record(RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
+	l.Record(context.Background(), RequestLogEntry{Time: time.Now(), TraceID: NewTraceID(),
 		Status: 200, Duration: 80 * time.Millisecond}) // slow → always emitted
 
 	if l.Len() != 32 {
@@ -378,11 +381,57 @@ func TestRequestLogSamplingAndBound(t *testing.T) {
 
 func TestRequestLogNilLogger(t *testing.T) {
 	l := NewRequestLog(nil, 1, 8, 0)
-	l.Record(RequestLogEntry{Status: 500, Err: "boom"})
+	l.Record(context.Background(), RequestLogEntry{Status: 500, Err: "boom"})
 	if l.Logged() != 0 {
 		t.Error("nil logger must not count emitted lines")
 	}
 	if l.Len() != 1 {
 		t.Error("ring must retain entries even without a logger")
+	}
+}
+
+// ctxCapturingHandler records the context each slog record arrives
+// with, so tests can prove what Record hands the handler.
+type ctxCapturingHandler struct {
+	mu   sync.Mutex
+	ctxs []context.Context
+}
+
+func (h *ctxCapturingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *ctxCapturingHandler) Handle(ctx context.Context, _ slog.Record) error {
+	h.mu.Lock()
+	h.ctxs = append(h.ctxs, ctx)
+	h.mu.Unlock()
+	return nil
+}
+func (h *ctxCapturingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *ctxCapturingHandler) WithGroup(string) slog.Handler      { return h }
+
+// TestRequestLogRecordPassesCallerContext is the regression test for
+// the detached-context fix: Record used to log with a fresh
+// context.Background(), dropping any request-scoped correlation the
+// slog handler could have read. It must hand the handler the caller's
+// context — including one whose cancellation was stripped with
+// context.WithoutCancel after the request finished.
+func TestRequestLogRecordPassesCallerContext(t *testing.T) {
+	type key struct{}
+	h := &ctxCapturingHandler{}
+	l := NewRequestLog(slog.New(h), 1, 8, 0)
+
+	reqCtx, cancel := context.WithCancel(context.WithValue(context.Background(), key{}, "req-77"))
+	logCtx := context.WithoutCancel(reqCtx)
+	cancel() // request finished before its log line was emitted
+
+	l.Record(logCtx, RequestLogEntry{Status: 200})
+
+	if len(h.ctxs) != 1 {
+		t.Fatalf("handler saw %d records, want 1", len(h.ctxs))
+	}
+	got := h.ctxs[0]
+	if v, _ := got.Value(key{}).(string); v != "req-77" {
+		t.Errorf("handler ctx lost the request value: got %q, want \"req-77\"", v)
+	}
+	if err := got.Err(); err != nil {
+		t.Errorf("handler ctx is canceled (%v); WithoutCancel should have stripped that", err)
 	}
 }

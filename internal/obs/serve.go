@@ -14,6 +14,9 @@ import (
 type Server struct {
 	lis net.Listener
 	srv *http.Server
+	// done closes when the serve goroutine exits, so Close/Shutdown
+	// can wait for it instead of abandoning it mid-accept.
+	done chan struct{}
 }
 
 // expvarOnce guards the process-global expvar name: the first served
@@ -39,8 +42,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
-	go func() { _ = s.srv.Serve(lis) }()
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(lis)
+	}()
 	return s, nil
 }
 
@@ -50,14 +56,27 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the server immediately (in-flight scrapes are cut).
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server immediately (in-flight scrapes are cut) and
+// waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
 
 // Shutdown stops the server gracefully: the listener closes at once
 // but in-flight scrapes finish (or ctx expires, whichever is first).
 // The run epilogue uses this so a scraper mid-collection at exit gets
-// a complete response instead of a reset connection.
-func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+// a complete response instead of a reset connection. The serve
+// goroutine has exited by the time Shutdown returns without error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
 
 // Mount registers the observability endpoints on an existing mux —
 // the hook a daemon with its own HTTP surface (jem-serve) uses to

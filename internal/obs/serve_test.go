@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeEndpoints stands the side server up on an ephemeral port
@@ -52,4 +54,42 @@ func TestServeEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/ index looks wrong:\n%s", body[:min(len(body), 200)])
 	}
 	get("/debug/pprof/cmdline") // must simply answer 200
+}
+
+// TestServerCloseWaitsForServeGoroutine is the regression test for
+// the unsupervised-goroutine fix: Close must not return until the
+// side serve goroutine has exited, so a caller tearing down the
+// process observes the listener fully released.
+func TestServerCloseWaitsForServeGoroutine(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("Close returned before the serve goroutine exited")
+	}
+}
+
+// TestServerShutdownWaitsForServeGoroutine: the graceful path makes
+// the same guarantee when the context allows it.
+func TestServerShutdownWaitsForServeGoroutine(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("Shutdown returned before the serve goroutine exited")
+	}
 }

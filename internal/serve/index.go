@@ -64,14 +64,21 @@ func (ix *servedIndex) swap(m *jem.Mapper) *version {
 // drain completed and how long it waited. Polling (rather than a
 // WaitGroup) keeps release on the request hot path to one atomic add,
 // and a swap is rare enough that millisecond-granularity waiting is
-// free.
+// free. One ticker serves the whole wait — time.After in the loop
+// would arm a fresh runtime timer every millisecond, and each lives
+// until it fires even after the drain completes.
 func drain(ctx context.Context, v *version) (drained bool, waited time.Duration) {
 	start := time.Now()
+	if v.inflight.Load() == 0 {
+		return true, time.Since(start)
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
 	for v.inflight.Load() > 0 {
 		select {
 		case <-ctx.Done():
 			return false, time.Since(start)
-		case <-time.After(time.Millisecond):
+		case <-tick.C:
 		}
 	}
 	return true, time.Since(start)

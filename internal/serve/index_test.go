@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDrainIdleVersion covers the fast path: a version with no pinned
+// requests drains without arming the ticker at all.
+func TestDrainIdleVersion(t *testing.T) {
+	v := &version{gen: 1}
+	drained, _ := drain(context.Background(), v)
+	if !drained {
+		t.Fatal("drain of an idle version must complete")
+	}
+}
+
+// TestDrainWaitsForRelease is the regression test for the drain poll
+// loop rewrite (time.After-per-iteration → one ticker): drain must
+// still observe the in-flight count dropping to zero and report
+// completion.
+func TestDrainWaitsForRelease(t *testing.T) {
+	v := &version{gen: 1}
+	v.inflight.Add(1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		v.inflight.Add(-1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drained, waited := drain(ctx, v)
+	if !drained {
+		t.Fatal("drain must complete once the pinned request releases")
+	}
+	if waited <= 0 {
+		t.Error("drain reported a non-positive wait for a real wait")
+	}
+}
+
+// TestDrainContextExpiry: a version whose request never finishes must
+// not wedge the swapper — drain gives up when the context does.
+func TestDrainContextExpiry(t *testing.T) {
+	v := &version{gen: 1}
+	v.inflight.Add(1) // never released
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	drained, _ := drain(ctx, v)
+	if drained {
+		t.Fatal("drain must report failure when the context expires first")
+	}
+}
+
+// TestBeginRequestContextOutlivesRequest is the regression test for
+// the request-log context fix: finish runs after the handler returns,
+// when the request context may already be canceled, so reqObs must
+// carry that context stripped of cancellation but keeping its values
+// (trace correlation lives there).
+func TestBeginRequestContextOutlivesRequest(t *testing.T) {
+	s := New(Config{})
+	type key struct{}
+	r := httptest.NewRequest("POST", "/map/asm", nil)
+	reqCtx, cancel := context.WithCancel(context.WithValue(r.Context(), key{}, "corr-1"))
+	r = r.WithContext(reqCtx)
+
+	ro := s.beginRequest(httptest.NewRecorder(), r)
+	cancel() // the handler returned; the request context died
+
+	if err := ro.ctx.Err(); err != nil {
+		t.Fatalf("reqObs ctx canceled with the request: %v", err)
+	}
+	if v, _ := ro.ctx.Value(key{}).(string); v != "corr-1" {
+		t.Errorf("reqObs ctx lost request values: got %q, want \"corr-1\"", v)
+	}
+}

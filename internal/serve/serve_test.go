@@ -141,7 +141,7 @@ func TestServeConcurrentByteIdentical(t *testing.T) {
 			}
 			statuses[i] = resp.StatusCode
 			bodies[i], _ = io.ReadAll(resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close()
 		}(i)
 	}
 	wg.Wait()
@@ -257,7 +257,7 @@ func TestServeAdmissionControl(t *testing.T) {
 					return
 				}
 				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				codes[i] = resp.StatusCode
 			}(i)
 		}
@@ -279,7 +279,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	if _, err := pw.Write(w.fastq[first:]); err != nil {
 		t.Fatal(err)
 	}
-	pw.Close()
+	_ = pw.Close()
 	resp := <-headerDone
 	if resp == nil {
 		t.Fatal("held request failed")
@@ -337,7 +337,7 @@ func TestServeHotSwapUnderLoad(t *testing.T) {
 					continue
 				}
 				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				mu.Lock()
 				requests++
 				if resp.StatusCode != http.StatusOK {
@@ -514,7 +514,7 @@ func TestServeIndexesAndHealth(t *testing.T) {
 	}
 
 	// A mapped request then shows up in /metrics, mounted on this mux.
-	postReads(t, ts.URL+"/v1/map/asm", w.fastq).Body.Close()
+	_ = postReads(t, ts.URL+"/v1/map/asm", w.fastq).Body.Close()
 	_, metrics := get("/metrics")
 	for _, want := range []string{"jem_serve_requests_total", "jem_serve_inflight", "jem_stream_reads_total", "jem_serve_index_bytes"} {
 		if !strings.Contains(string(metrics), want) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -33,7 +34,12 @@ type inflightEntry struct {
 // 429s and deadline kills — lands in the trace ring and the request
 // log exactly once.
 type reqObs struct {
-	s       *Server
+	s *Server
+	// ctx is the request context stripped of its cancellation
+	// (finish runs after the handler returns, when the request
+	// context may already be canceled) but keeping its values, so
+	// the request-log emission stays correlated with the request.
+	ctx     context.Context
 	id      obs.TraceID
 	root    *obs.Span
 	start   time.Time
@@ -65,6 +71,7 @@ func (s *Server) beginRequest(w http.ResponseWriter, r *http.Request) *reqObs {
 	w.Header().Set("X-JEM-Trace-Id", id.String())
 	ro := &reqObs{
 		s:      s,
+		ctx:    context.WithoutCancel(r.Context()),
 		id:     id,
 		root:   obs.NewSpan("request"),
 		start:  time.Now(),
@@ -132,7 +139,7 @@ func (ro *reqObs) finish() {
 		Duration: d,
 	}
 	s.traces.Add(t)
-	s.reqlog.Record(obs.RequestLogEntry{
+	s.reqlog.Record(ro.ctx, obs.RequestLogEntry{
 		Time:          ro.start,
 		TraceID:       ro.id,
 		Index:         ro.index,

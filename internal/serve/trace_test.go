@@ -55,7 +55,7 @@ func TestTraceIDHeaderOnEveryPath(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			resp := postReads(t, tc.url, w.fastq)
 			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			if resp.StatusCode != tc.status {
 				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
 			}
@@ -78,7 +78,7 @@ func TestTraceIDHeaderOnEveryPath(t *testing.T) {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if got := resp.Header.Get("X-JEM-Trace-Id"); got != want {
 			t.Errorf("X-JEM-Trace-Id = %q, want the client's %q echoed", got, want)
 		}
@@ -104,7 +104,7 @@ func TestTraceRetrievable(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("map status = %d", resp.StatusCode)
 	}
@@ -182,7 +182,7 @@ func TestSlowRequestFlightRecorder(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("map status = %d", resp.StatusCode)
 	}
@@ -240,7 +240,7 @@ func TestRequestLogEmitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 
 	logged := logBuf.String()
 	for _, want := range []string{`"msg":"map request"`, `"trace_id":"` + id + `"`, `"index":"asm"`, `"status":200`} {
@@ -267,7 +267,7 @@ func TestRequestLogEmitted(t *testing.T) {
 	// Failed requests log at warning/error level with the error text.
 	resp = postReads(t, ts.URL+"/v1/map/asm?timeout=1ns", w.fastq)
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if !strings.Contains(logBuf.String(), "deadline exceeded") {
 		t.Error("request log missing the deadline error line")
 	}
@@ -334,7 +334,7 @@ func TestObsSoakBounded(t *testing.T) {
 					return
 				}
 				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					errc <- fmt.Errorf("request %d: status %d", i, resp.StatusCode)
 					return

@@ -239,6 +239,8 @@ func (m *Mapper) Map(ctx context.Context, reads []Record, opts MapOptions) ([]Ma
 // Deprecated: use Map, the context-first canonical form. MapReads is
 // Map with a background context and zero MapOptions, discarding the
 // error (which a background context never produces).
+//
+//jem:detached compatibility wrapper: callers predate context threading
 func (m *Mapper) MapReads(reads []Record) []Mapping {
 	mappings, _ := m.Map(context.Background(), reads, MapOptions{})
 	return mappings

@@ -70,7 +70,7 @@ func TestFilePipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	loaded, err := jem.LoadMapper(f2, contigs)
-	f2.Close()
+	_ = f2.Close()
 	if err != nil {
 		t.Fatal(err)
 	}

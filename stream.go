@@ -179,6 +179,8 @@ func (q *quarantineSidecar) record(line int, id string, cause error) {
 //
 // Deprecated: use Stream, the context-first canonical form. MapStream
 // is Stream with a background context and zero StreamOptions.
+//
+//jem:detached compatibility wrapper: callers predate context threading
 func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
 	return m.Stream(context.Background(), r, w, StreamOptions{})
 }
