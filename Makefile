@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-tests lint-fix api-check api-update test test-short fault-test serve-smoke obs-smoke bench bench-smoke bench-core bench-obs metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-tests lint-fix api-check api-update test test-short fault-test serve-smoke dist-smoke obs-smoke bench bench-smoke bench-core bench-obs bench-dist metrics-demo fuzz repro repro-quick clean
 
 all: build vet lint lint-tests api-check test
 
@@ -64,6 +64,15 @@ serve-smoke:
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run TestConcurrentStreamStatsSumToRegistry .
 
+# Distributed shard serving under the race detector: the shardnet
+# protocol/coordinator suite (hedged probes, retries, degraded
+# answers), the facade-level fleet identity and degraded-answer tests,
+# and the multi-process jem-shardd end-to-end with fault injection.
+# See docs/DISTRIBUTED.md for the contracts these prove.
+dist-smoke:
+	$(GO) test -race ./internal/shardnet/
+	$(GO) test -race -run 'TestOpenShardServers|TestServeShardsLostHeader|TestDistE2EMultiProcess' .
+
 # Request-scoped observability tests under the race detector: trace
 # propagation through Stream, the X-JEM-Trace-Id header contract,
 # tail-sampling rings, the flight recorder, the request log, and the
@@ -93,6 +102,12 @@ bench-core:
 # traced run must stay within a few percent of the untraced one.
 bench-obs:
 	$(GO) run ./cmd/jem-bench obs
+
+# Refresh the committed distributed-overhead point (BENCH_dist.json):
+# the same streaming run against the local sharded backend vs an
+# in-process shard-server fleet at p=2/4/8, byte-identity asserted.
+bench-dist:
+	$(GO) run ./cmd/jem-bench dist
 
 # End-to-end observability demo: synthesize a tiny dataset, run the
 # streaming mapper with a live metrics server, and scrape /metrics and

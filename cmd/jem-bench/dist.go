@@ -1,0 +1,224 @@
+// The dist subcommand measures what the wire costs: the same
+// deterministic streaming run, once against the local sharded backend
+// and once routed through a shard-server fleet (in-process
+// shardnet.Server instances on unix sockets — the same stack jem-shardd
+// wraps, minus the process boundary), at several shard counts. The
+// result is written as machine-readable JSON (BENCH_dist.json at the
+// repo root), the distributed sibling of BENCH_core.json: each
+// committed point is one sample of the remote-overhead trajectory.
+// Numbers are only comparable between runs on the same machine.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/shardnet"
+)
+
+// distResult is the BENCH_dist.json schema. Field names are stable:
+// downstream tooling diffs them across commits.
+type distResult struct {
+	Schema    string `json:"schema"` // "jem-bench/dist/v1"
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	Procs     int    `json:"gomaxprocs"`
+
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Reads   int     `json:"reads_per_pass"`
+
+	Points []distPoint `json:"points"`
+}
+
+// distPoint is one shard count: local vs remote cost for the same
+// stream. Overhead is the per-read price of the wire (framing, kernel
+// round trips, coordinator bookkeeping); the identity of the output
+// bytes is asserted, not reported.
+type distPoint struct {
+	Shards            int     `json:"shards"`
+	Servers           int     `json:"servers"`
+	LocalPasses       int     `json:"local_passes"`
+	RemotePasses      int     `json:"remote_passes"`
+	LocalNSPerRead    float64 `json:"local_ns_per_read"`
+	RemoteNSPerRead   float64 `json:"remote_ns_per_read"`
+	OverheadNSPerRead float64 `json:"overhead_ns_per_read"`
+	RemoteOverLocal   float64 `json:"remote_over_local"`
+}
+
+var distShardCounts = []int{2, 4, 8}
+
+// benchDist measures remote-vs-local streaming cost at each shard
+// count and writes the result to outPath. The remote path must stay
+// byte-identical to the local one — a fleet that answered faster by
+// answering differently would make the benchmark meaningless — so the
+// warmup pass of each backend is also the identity check.
+func benchDist(scale float64, opts jem.Options, w io.Writer, outPath string) error {
+	ds, err := experiments.Build(mustSpec("bsplendens-like"), scale)
+	if err != nil {
+		return err
+	}
+	var fastq bytes.Buffer
+	for _, r := range ds.Reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, bytes.Repeat([]byte{'I'}, len(r.Seq)))
+	}
+	input := fastq.Bytes()
+
+	res := distResult{
+		Schema:    "jem-bench/dist/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+		Dataset:   ds.Spec.Name,
+		Scale:     scale,
+	}
+
+	for _, p := range distShardCounts {
+		pt, reads, err := benchDistPoint(ds, input, p, opts)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", p, err)
+		}
+		res.Reads = reads
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "dist p=%d (%d servers): local %8.0f ns/read, remote %8.0f ns/read (+%.0f, %.2fx)\n",
+			pt.Shards, pt.Servers, pt.LocalNSPerRead, pt.RemoteNSPerRead, pt.OverheadNSPerRead, pt.RemoteOverLocal)
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  wrote %s\n", outPath)
+	return nil
+}
+
+// benchDistPoint measures one shard count: build the sharded index,
+// serve it from p/2 in-process servers, and time both backends.
+func benchDistPoint(ds *experiments.Dataset, input []byte, p int, opts jem.Options) (distPoint, int, error) {
+	opts.Shards = p
+	local, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+	dir, err := os.MkdirTemp("", "jem-dist")
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+	defer os.RemoveAll(dir)
+	idx := filepath.Join(dir, "idx.jem")
+	if err := local.SaveIndexFile(idx); err != nil {
+		return distPoint{}, 0, err
+	}
+
+	nServers := p / 2
+	addrs, stopFleet, err := startDistFleet(dir, idx, nServers)
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+	defer stopFleet()
+	remote, _, err := jem.Open(jem.OpenOptions{IndexPath: idx, ShardServers: addrs})
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+	defer func() { _ = remote.Close() }()
+
+	localNS, localTSV, localPasses, reads, err := distMeasure(local, input, nil)
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+	remoteNS, _, remotePasses, _, err := distMeasure(remote, input, localTSV)
+	if err != nil {
+		return distPoint{}, 0, err
+	}
+
+	return distPoint{
+		Shards:            p,
+		Servers:           nServers,
+		LocalPasses:       localPasses,
+		RemotePasses:      remotePasses,
+		LocalNSPerRead:    localNS,
+		RemoteNSPerRead:   remoteNS,
+		OverheadNSPerRead: remoteNS - localNS,
+		RemoteOverLocal:   remoteNS / localNS,
+	}, reads, nil
+}
+
+// distMeasure runs one warmup pass (whose TSV is returned, and checked
+// against wantTSV when non-nil) then timed passes: at least 2 and at
+// least half a second of wall clock, capped so six backends still
+// finish promptly.
+func distMeasure(m *jem.Mapper, input []byte, wantTSV []byte) (nsPerRead float64, tsv []byte, passes, reads int, err error) {
+	ctx := context.Background()
+	var warm bytes.Buffer
+	if _, err := m.Stream(ctx, bytes.NewReader(input), &warm, jem.StreamOptions{}); err != nil {
+		return 0, nil, 0, 0, err
+	}
+	if wantTSV != nil && !bytes.Equal(warm.Bytes(), wantTSV) {
+		return 0, nil, 0, 0, fmt.Errorf("remote output differs from local (%d vs %d bytes)", warm.Len(), len(wantTSV))
+	}
+	var wallNS int64
+	for passes < 2 || (wallNS < int64(500*time.Millisecond) && passes < 10) {
+		start := time.Now()
+		stats, err := m.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{})
+		if err != nil {
+			return 0, nil, 0, 0, err
+		}
+		wallNS += time.Since(start).Nanoseconds()
+		reads += stats.Reads
+		passes++
+	}
+	return float64(wallNS) / float64(reads), warm.Bytes(), passes, reads / passes, nil
+}
+
+// startDistFleet serves the index at idx from nServers in-process
+// shardnet servers on unix sockets (server i owns the shards ≡ i mod
+// nServers), returning dial addresses and a teardown func.
+func startDistFleet(dir, idx string, nServers int) (addrs []string, stop func(), err error) {
+	var servers []*shardnet.Server
+	stop = func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	for i := 0; i < nServers; i++ {
+		tables, meta, err := core.ReadShardSubsetFile(idx, func(sd int) bool { return sd%nServers == i })
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv, err := shardnet.NewServer(tables, shardnet.Info{
+			Shards:      meta.Shards,
+			T:           meta.T,
+			NumSubjects: meta.NumSubjects,
+			ManifestCRC: meta.ManifestCRC,
+		})
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("unix", filepath.Join(dir, fmt.Sprintf("s%d.sock", i)))
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv.Start(ln)
+		servers = append(servers, srv)
+		addrs = append(addrs, "unix:"+ln.Addr().String())
+	}
+	return addrs, stop, nil
+}

@@ -11,7 +11,8 @@
 //	jem-bench fig9              percent identity distribution
 //	jem-bench core              core mapping throughput -> BENCH_core.json
 //	jem-bench obs               tracing overhead on/off -> BENCH_obs.json
-//	jem-bench all               everything above in order (except core/obs)
+//	jem-bench dist              remote vs local shard serving -> BENCH_dist.json
+//	jem-bench all               everything above in order (except core/obs/dist)
 //
 // The -scale flag scales the paper's genome lengths; the default 0.01
 // keeps a full "all" run in the minutes range on a laptop. Absolute
@@ -41,14 +42,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "hash family seed")
 		csvDir   = flag.String("csv", "", "also write raw data as CSV files into this directory")
 		benchOut = flag.String("bench-out", "",
-			"output path for the core/obs subcommand's machine-readable result (default BENCH_core.json / BENCH_obs.json)")
+			"output path for the core/obs/dist subcommand's machine-readable result (default BENCH_<sub>.json)")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics, /statusz, /debug/vars and /debug/pprof while benchmarks run (empty = off)")
 		metricsLinger = flag.Duration("metrics-linger", 0,
 			"keep the metrics server up this long after the run finishes (lets a scraper collect the final state)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|core|obs|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|core|obs|dist|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -256,6 +257,13 @@ func run(cmd string, scale float64, opts jem.Options, w io.Writer, csvDir, bench
 			benchOut = "BENCH_core.json"
 		}
 		if err := benchCore(scale, opts, w, benchOut); err != nil {
+			return err
+		}
+	case "dist":
+		if benchOut == "" {
+			benchOut = "BENCH_dist.json"
+		}
+		if err := benchDist(scale, opts, w, benchOut); err != nil {
 			return err
 		}
 	case "obs":

@@ -55,8 +55,9 @@ func (n *namedPaths) Set(v string) error {
 
 func main() {
 	var (
-		indexes namedPaths
-		contigs namedPaths
+		indexes      namedPaths
+		contigs      namedPaths
+		shardServers namedPaths
 
 		addr     = flag.String("addr", ":8844", "HTTP listen address")
 		k        = flag.Int("k", 16, "k-mer size (builds from -contigs)")
@@ -81,6 +82,8 @@ func main() {
 	)
 	flag.Var(&indexes, "index", "serve a saved index: name=path (repeatable)")
 	flag.Var(&contigs, "contigs", "build and serve an index from contigs: name=path (repeatable)")
+	flag.Var(&shardServers, "shard-servers",
+		"serve name through a jem-shardd fleet: name=addr1,addr2 (repeatable; requires -index name=path — only the manifest is read locally)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: jem-serve [flags] -index name=path | -contigs name=path\n")
 		flag.PrintDefaults()
@@ -95,7 +98,7 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
-	if err := run(logger, indexes, contigs, config{
+	if err := run(logger, indexes, contigs, shardServers, config{
 		addr: *addr, k: *k, w: *w, t: *t, l: *l, seed: *seed, shards: *shards,
 		inflight: *inflight, queue: *queue, reqWork: *reqWork,
 		defTO: *defTO, maxTO: *maxTO, drainTO: *drainTO,
@@ -120,7 +123,7 @@ type config struct {
 	flightRing, logSample  int
 }
 
-func run(logger *slog.Logger, indexes, contigs namedPaths, cfg config) error {
+func run(logger *slog.Logger, indexes, contigs, shardServers namedPaths, cfg config) error {
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
 		MaxInFlight:       cfg.inflight,
@@ -147,21 +150,45 @@ func run(logger *slog.Logger, indexes, contigs namedPaths, cfg config) error {
 		}
 		contigRecords[c.name] = recs
 	}
+	// Shard-server fleets are keyed by index name; each value is the
+	// comma-separated server address list.
+	fleets := make(map[string][]string)
+	for _, ss := range shardServers {
+		fleets[ss.name] = strings.Split(ss.path, ",")
+	}
 	opts := jem.Options{K: cfg.k, W: cfg.w, Trials: cfg.t, SegmentLen: cfg.l,
 		Seed: cfg.seed, Shards: cfg.shards, Metrics: reg}
 	loaded := make(map[string]bool)
+	// Remote mappers hold coordinator connection pools; release them
+	// when the server exits.
+	var remotes []*jem.Mapper
+	defer func() {
+		for _, m := range remotes {
+			_ = m.Close()
+		}
+	}()
 	for _, ix := range indexes {
-		m, _, err := jem.Open(jem.OpenOptions{
-			Contigs:   contigRecords[ix.name],
-			IndexPath: ix.path,
-			Options:   opts,
+		m, info, err := jem.Open(jem.OpenOptions{
+			Contigs:      contigRecords[ix.name],
+			IndexPath:    ix.path,
+			ShardServers: fleets[ix.name],
+			Options:      opts,
 		})
 		if err != nil {
 			return fmt.Errorf("index %s: %w", ix.name, err)
 		}
 		srv.AddIndex(ix.name, m)
 		loaded[ix.name] = true
-		logIndex(logger, ix.name, m, "loaded")
+		how := "loaded"
+		if info.Remote {
+			how = fmt.Sprintf("remote (%d shard servers)", len(fleets[ix.name]))
+			remotes = append(remotes, m)
+		}
+		delete(fleets, ix.name)
+		logIndex(logger, ix.name, m, how)
+	}
+	for name := range fleets {
+		return fmt.Errorf("-shard-servers %s given without a matching -index %s=path", name, name)
 	}
 	for _, c := range contigs {
 		if loaded[c.name] {

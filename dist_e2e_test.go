@@ -1,0 +1,185 @@
+package jem_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// shardProc is one jem-shardd subprocess plus its scraped address.
+type shardProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startShardd launches a jem-shardd subprocess and scrapes the
+// "listening <addr>" line it prints once bound. extraEnv entries are
+// appended to the inherited environment (for JEM_FAULTS injection).
+func startShardd(t *testing.T, bin, index, shards, listen string, extraEnv ...string) *shardProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-index", index, "-shards", shards, "-listen", listen)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	addrc := make(chan string, 1)
+	go func() {
+		defer close(addrc)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "listening "); ok {
+				addrc <- rest
+				break
+			}
+		}
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			t.Fatalf("jem-shardd exited before printing its address")
+		}
+		return &shardProc{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("jem-shardd did not print its address in time")
+		return nil
+	}
+}
+
+// TestDistE2EMultiProcess is the multi-process end-to-end: real
+// jem-shardd server processes, a real index file, and the full facade
+// client.
+//
+//   - Healthy fleet: remote output byte-identical to local serving.
+//   - One server armed with the shard.down fault (its process drops
+//     the connection mid-query without replying — a crash at the worst
+//     moment): the stream completes degraded, naming the dead server's
+//     shards in Stats.ShardsLost.
+//   - One server process actually killed: same degraded completion on
+//     a live mapper whose pools must discover the corpse.
+func TestDistE2EMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process E2E is not a -short test")
+	}
+	bin := filepath.Join(t.TempDir(), "jem-shardd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/jem-shardd").CombinedOutput(); err != nil {
+		t.Fatalf("building jem-shardd: %v\n%s", err, out)
+	}
+
+	ds, reads := distWorld(t)
+	opts := jem.DefaultOptions()
+	opts.Shards = 4
+	local, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "idx.jem")
+	if err := local.SaveIndexFile(idx); err != nil {
+		t.Fatal(err)
+	}
+	var localTSV bytes.Buffer
+	localStats, err := local.Stream(context.Background(), bytes.NewReader(reads), &localTSV, jem.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sock := func(name string) string { return "unix:" + filepath.Join(dir, name) }
+	a := startShardd(t, bin, idx, "0,1", sock("a.sock"))
+	b := startShardd(t, bin, idx, "2-3", sock("b.sock"))
+
+	t.Run("healthy identity", func(t *testing.T) {
+		remote, info, err := jem.Open(jem.OpenOptions{IndexPath: idx, ShardServers: []string{a.addr, b.addr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = remote.Close() }()
+		if !info.Remote {
+			t.Fatalf("OpenInfo = %+v, want Remote", info)
+		}
+		var tsv bytes.Buffer
+		stats, err := remote.Stream(context.Background(), bytes.NewReader(reads), &tsv, jem.StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tsv.Bytes(), localTSV.Bytes()) {
+			t.Fatalf("remote TSV differs from local (%d vs %d bytes)", tsv.Len(), localTSV.Len())
+		}
+		if stats.PostingsScanned != localStats.PostingsScanned {
+			t.Fatalf("postings scanned %d remote != %d local", stats.PostingsScanned, localStats.PostingsScanned)
+		}
+		if stats.ShardsLost != nil {
+			t.Fatalf("healthy fleet lost shards %v", stats.ShardsLost)
+		}
+	})
+
+	t.Run("shard.down mid-query", func(t *testing.T) {
+		// A replacement for server B whose process drops every query
+		// connection after reading the request — the wire-level signature
+		// of a process crashing mid-query. The handshake is unaffected,
+		// so Open succeeds and the loss is discovered under load.
+		bDown := startShardd(t, bin, idx, "2-3", sock("b-down.sock"), "JEM_FAULTS=shard.down")
+		remote, _, err := jem.Open(jem.OpenOptions{IndexPath: idx, ShardServers: []string{a.addr, bDown.addr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = remote.Close() }()
+		var tsv bytes.Buffer
+		stats, err := remote.Stream(context.Background(), bytes.NewReader(reads), &tsv, jem.StreamOptions{})
+		if err != nil {
+			t.Fatalf("degraded stream errored: %v", err)
+		}
+		assertLostWithinB(t, stats)
+		if got, want := bytes.Count(tsv.Bytes(), []byte{'\n'}), bytes.Count(localTSV.Bytes(), []byte{'\n'}); got != want {
+			t.Fatalf("degraded run emitted %d lines, want %d", got, want)
+		}
+	})
+
+	t.Run("process killed", func(t *testing.T) {
+		remote, _, err := jem.Open(jem.OpenOptions{IndexPath: idx, ShardServers: []string{a.addr, b.addr}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = remote.Close() }()
+		if err := b.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = b.cmd.Process.Wait()
+		var tsv bytes.Buffer
+		stats, err := remote.Stream(context.Background(), bytes.NewReader(reads), &tsv, jem.StreamOptions{})
+		if err != nil {
+			t.Fatalf("post-kill stream errored: %v", err)
+		}
+		assertLostWithinB(t, stats)
+	})
+}
+
+// assertLostWithinB checks a degraded run lost at least one shard and
+// only shards owned by server B (shards 2 and 3).
+func assertLostWithinB(t *testing.T, stats jem.Stats) {
+	t.Helper()
+	if len(stats.ShardsLost) == 0 {
+		t.Fatal("no shards recorded lost")
+	}
+	for _, sd := range stats.ShardsLost {
+		if sd != 2 && sd != 3 {
+			t.Fatalf("lost shard %d is not owned by server B (ShardsLost %v)", sd, stats.ShardsLost)
+		}
+	}
+}

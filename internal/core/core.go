@@ -73,10 +73,13 @@ type SubjectMeta struct {
 // state through SetFrozen (its frozen table is built by the gather
 // merge instead).
 type Mapper struct {
-	sk       *sketch.Sketcher
-	table    *sketch.Table
-	frozen   *sketch.FrozenTable
-	sharded  *sketch.ShardedFrozen
+	sk      *sketch.Sketcher
+	table   *sketch.Table
+	frozen  *sketch.FrozenTable
+	sharded *sketch.ShardedFrozen
+	// remote, when non-nil, replaces every local table: queries
+	// scatter-gather over the wire through it (SetRemote).
+	remote   ShardQuerier
 	subjects []SubjectMeta
 	sealed   bool
 	// met, when non-nil, receives per-query observations from every
@@ -123,9 +126,12 @@ func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) {
 // index load).
 func (m *Mapper) Sharded() *sketch.ShardedFrozen { return m.sharded }
 
-// Shards returns the number of serving shards: P for a sharded
-// mapper, 1 for the monolithic table forms.
+// Shards returns the number of serving shards: P for a sharded or
+// remote mapper, 1 for the monolithic table forms.
 func (m *Mapper) Shards() int {
+	if m.remote != nil {
+		return m.remote.NumShards()
+	}
 	if m.sharded != nil {
 		return m.sharded.NumShards()
 	}
@@ -208,7 +214,8 @@ func (m *Mapper) Seal() {
 func (m *Mapper) Sealed() bool { return m.sealed }
 
 // Entries returns the total posting count of the active table (frozen
-// after Seal/SetFrozen, mutable before).
+// after Seal/SetFrozen, mutable before). A remote mapper reports 0:
+// its postings are resident in the shard servers, not this process.
 func (m *Mapper) Entries() int {
 	if m.sharded != nil {
 		return m.sharded.Entries()
@@ -216,7 +223,10 @@ func (m *Mapper) Entries() int {
 	if m.frozen != nil {
 		return m.frozen.Entries()
 	}
-	return m.table.Entries()
+	if m.table != nil {
+		return m.table.Entries()
+	}
+	return 0
 }
 
 // mutationGuard panics when the subject set may no longer grow: after
@@ -328,6 +338,7 @@ type Session struct {
 	m       *Mapper
 	met     *Metrics        // instrument set captured at creation (nil = off)
 	done    <-chan struct{} // cancellation signal from WithContext (nil = never)
+	ctx     context.Context // request context from WithContext (nil = none)
 	count   []int32
 	lastq   []int32
 	qid     int32
@@ -344,6 +355,16 @@ type Session struct {
 	shards       []shardCounters
 	shardTrials  [][]int32
 	shardTouched []int32
+
+	// Remote scatter-gather scratch: per-shard probe words (parallel to
+	// shardTrials), per-shard RPC results/errors/durations, and the
+	// cumulative set of shards whose queries failed terminally — the
+	// degraded-answer record surfaced through LostShards.
+	shardWords [][]sketch.Word
+	remoteRes  [][][]sketch.Posting
+	remoteErrs []error
+	remoteDur  []time.Duration
+	lostSet    map[int]struct{}
 
 	// Per-shard work tallies for request-scoped tracing: postings are
 	// accumulated always (one slice add per touched shard per query —
@@ -396,8 +417,37 @@ func (m *Mapper) NewSession() *Session {
 // done; single-segment lookups always run to completion, so a
 // cancelled session never leaves partial counter state behind.
 func (s *Session) WithContext(ctx context.Context) *Session {
+	s.ctx = ctx
 	s.done = ctx.Done()
 	return s
+}
+
+// context returns the request context attached via WithContext — the
+// context remote shard queries inherit their deadlines from.
+//
+//jem:detached sessions created without WithContext have no caller context to inherit
+func (s *Session) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// LostShards returns the sorted ids of shards whose remote queries
+// failed terminally at any point in this session's lifetime — the
+// per-session degraded-answer record. Queries touching a lost shard
+// completed with the surviving shards' postings only. Always nil on a
+// local (non-remote) mapper.
+func (s *Session) LostShards() []int {
+	if len(s.lostSet) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s.lostSet))
+	for sd := range s.lostSet {
+		out = append(out, sd)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Interrupted reports whether the context attached via WithContext has
@@ -481,6 +531,10 @@ func (s *Session) scanWords(words []sketch.Word, keepLists bool) {
 		s.plists = s.plists[:len(words)]
 	} else {
 		s.plists = s.plists[:0]
+	}
+	if q := s.m.remote; q != nil {
+		s.scanRemoteWords(q, words, keepLists)
+		return
 	}
 	if sf := s.m.sharded; sf != nil && sf.NumShards() > 1 {
 		s.scanShardedWords(sf, words, keepLists)
@@ -588,6 +642,140 @@ func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word
 		}
 	}
 	s.shardTouched = touched[:0]
+}
+
+// scanRemoteWords is the counting pass over a remote fleet: probes
+// are grouped per shard by the same ShardOf routing as the local
+// sharded path, each touched shard's batch goes out as one RPC (fanned
+// out concurrently when several shards are touched), and the replies
+// are merged into the global counters in touched order. Because the
+// probes, the per-shard posting lists, and the merge order all match
+// scanShardedWords exactly, a healthy fleet yields byte-identical
+// results — including PostingsScanned — to the local sharded backend.
+//
+// The degraded-answer policy lives here: a shard whose query fails
+// terminally (every retry/hedge attempt exhausted — see
+// shardnet.ShardError) contributes nothing to this query. Its id is
+// recorded in the session's lost set, the query completes with the
+// surviving shards, and the caller reads the damage via LostShards.
+func (s *Session) scanRemoteWords(q ShardQuerier, words []sketch.Word, keepLists bool) {
+	p := q.NumShards()
+	if len(s.shardTrials) < p {
+		s.shardTrials = make([][]int32, p)
+	}
+	if len(s.shardWords) < p {
+		s.shardWords = make([][]sketch.Word, p)
+	}
+	if len(s.shardWork) < p {
+		s.shardWork = make([]ShardWork, p)
+	}
+	if len(s.remoteRes) < p {
+		s.remoteRes = make([][][]sketch.Posting, p)
+		s.remoteErrs = make([]error, p)
+		s.remoteDur = make([]time.Duration, p)
+	}
+	touched := s.shardTouched[:0]
+	// Scatter: route each trial's probe to the shard owning its word.
+	for t, w := range words {
+		sd := sketch.ShardOf(t, w, p)
+		if len(s.shardTrials[sd]) == 0 {
+			touched = append(touched, int32(sd))
+		}
+		s.shardTrials[sd] = append(s.shardTrials[sd], int32(t))
+		s.shardWords[sd] = append(s.shardWords[sd], w)
+	}
+	ctx := s.context()
+	// Fan out one RPC per touched shard. A single-shard query runs
+	// inline; multi-shard queries overlap their network waits.
+	if len(touched) == 1 {
+		sd := int(touched[0])
+		s.remoteRes[sd], s.remoteDur[sd], s.remoteErrs[sd] = s.queryRemoteShard(ctx, q, sd)
+	} else {
+		var wg sync.WaitGroup
+		for _, sd32 := range touched {
+			sd := int(sd32)
+			wg.Add(1)
+			go func(sd int) {
+				defer wg.Done()
+				s.remoteRes[sd], s.remoteDur[sd], s.remoteErrs[sd] = s.queryRemoteShard(ctx, q, sd)
+			}(sd)
+		}
+		wg.Wait()
+	}
+	qid := s.qid
+	// Gather: merge each shard's reply in touched order, counting
+	// straight into the global counters (per-probe order inside a shard
+	// matches the local per-shard scan, so the candidate set comes out
+	// in the same order the local gather step produces).
+	for _, sd32 := range touched {
+		sd := int(sd32)
+		lists, err := s.remoteRes[sd], s.remoteErrs[sd]
+		s.remoteRes[sd] = nil
+		if err != nil {
+			s.noteLostShard(sd)
+			if keepLists {
+				// plists is reused across queries; a lost shard's trials
+				// must not leak the previous query's posting lists into
+				// this one's offset-vote pass.
+				for _, t32 := range s.shardTrials[sd] {
+					s.plists[t32] = nil
+				}
+			}
+			s.shardTrials[sd] = s.shardTrials[sd][:0]
+			s.shardWords[sd] = s.shardWords[sd][:0]
+			continue
+		}
+		var scanned int64
+		for i, t32 := range s.shardTrials[sd] {
+			ps := lists[i]
+			if keepLists {
+				s.plists[t32] = ps
+			}
+			scanned += int64(len(ps))
+			for _, pp := range ps {
+				subj := pp.Subject
+				if s.lastq[subj] != qid {
+					s.lastq[subj] = qid
+					s.count[subj] = 0
+					s.cand = append(s.cand, subj)
+				}
+				s.count[subj]++
+			}
+		}
+		s.scanned += scanned
+		s.shardWork[sd].Postings += scanned
+		if s.timeShards {
+			s.shardWork[sd].Wall += s.remoteDur[sd]
+		}
+		if s.met != nil {
+			s.met.observeShard(sd, scanned)
+		}
+		s.shardTrials[sd] = s.shardTrials[sd][:0]
+		s.shardWords[sd] = s.shardWords[sd][:0]
+	}
+	s.shardTouched = touched[:0]
+}
+
+// queryRemoteShard runs one shard's RPC, timing it when shard timing
+// is enabled (the wall is the RPC round-trip — the remote analogue of
+// the local per-shard scan time).
+func (s *Session) queryRemoteShard(ctx context.Context, q ShardQuerier, sd int) ([][]sketch.Posting, time.Duration, error) {
+	if !s.timeShards {
+		lists, err := q.QueryShard(ctx, sd, s.shardTrials[sd], s.shardWords[sd])
+		return lists, 0, err
+	}
+	t0 := time.Now()
+	lists, err := q.QueryShard(ctx, sd, s.shardTrials[sd], s.shardWords[sd])
+	return lists, time.Since(t0), err
+}
+
+// noteLostShard records a terminal per-query shard failure in the
+// session's cumulative lost set.
+func (s *Session) noteLostShard(sd int) {
+	if s.lostSet == nil {
+		s.lostSet = make(map[int]struct{})
+	}
+	s.lostSet[sd] = struct{}{}
 }
 
 // shardCounter returns shard sd's counter set, allocating the arrays

@@ -373,14 +373,33 @@ func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
 	return m, nil
 }
 
-// readShardedIndex decodes a JEMIDX05 stream after its magic: the
-// manifest is read through a checksumming tee and verified against its
-// footer before any payload byte is trusted, then the shard payloads
-// are read sequentially off the stream and CRC-verified + decoded in
-// parallel. Every corruption path reports an error wrapping
-// ErrIndexChecksum (so load-or-rebuild callers can detect it) and
-// names the shard it hit.
-func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
+// shardedManifest is a decoded, checksum-verified JEMIDX05 manifest:
+// the meta-only mapper carrying params and subjects, the shard
+// directory, and the manifest checksum — which doubles as the index
+// fingerprint a distributed fleet agrees on (see IndexMeta).
+type shardedManifest struct {
+	m           *Mapper
+	p           sketch.Params
+	lens        []uint64
+	crcs        []uint32
+	manifestCRC uint32
+}
+
+// meta projects the manifest onto its distributed-serving identity.
+func (man *shardedManifest) meta() IndexMeta {
+	return IndexMeta{
+		Shards:      len(man.lens),
+		T:           man.p.T,
+		NumSubjects: len(man.m.subjects),
+		ManifestCRC: man.manifestCRC,
+	}
+}
+
+// readShardedManifest decodes a JEMIDX05 manifest after its magic,
+// reading through a checksumming tee and verifying the footer before
+// any directory entry is trusted. On return the stream is positioned
+// at the first shard payload.
+func readShardedManifest(br *bufio.Reader) (*shardedManifest, error) {
 	h := crc32.NewIEEE()
 	_, _ = h.Write(indexMagicV5[:])
 	tee := io.TeeReader(br, h)
@@ -417,6 +436,23 @@ func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
 	if want != footer {
 		return nil, fmt.Errorf("%w: manifest computed %08x, footer says %08x", ErrIndexChecksum, want, footer)
 	}
+	return &shardedManifest{m: m, p: p, lens: lens, crcs: crcs, manifestCRC: want}, nil
+}
+
+// readShardedIndex decodes a JEMIDX05 stream after its magic: the
+// manifest is read through a checksumming tee and verified against its
+// footer before any payload byte is trusted, then the shard payloads
+// are read sequentially off the stream and CRC-verified + decoded in
+// parallel. Every corruption path reports an error wrapping
+// ErrIndexChecksum (so load-or-rebuild callers can detect it) and
+// names the shard it hit.
+func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
+	man, err := readShardedManifest(br)
+	if err != nil {
+		return nil, err
+	}
+	m, p, lens, crcs := man.m, man.p, man.lens, man.crcs
+	nshards := len(lens)
 	// The manifest is now trusted; pull each payload off the stream.
 	// io.CopyN grows the buffer with bytes actually read, so a length
 	// beyond the file ends in a truncation error, not an allocation.
@@ -435,7 +471,7 @@ func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
 	}
 	shards := make([]*sketch.FrozenTable, nshards)
 	decErrs := make([]error, nshards)
-	parallel.ForEach(int(nshards), 0, func(i int) {
+	parallel.ForEach(nshards, 0, func(i int) {
 		if sp != nil {
 			sp.Time(fmt.Sprintf("shard%d", i), func() {
 				shards[i], decErrs[i] = decodeShardPayload(i, payloads[i], crcs[i])

@@ -51,15 +51,25 @@ func (m *Mapper) EnableMetrics(reg *obs.Registry) *Metrics {
 }
 
 // enableShardMetrics registers the per-shard postings counters once
-// both a metrics registry and a sharded table are present. It runs
-// from EnableMetrics (load path: table installed first) and from
-// SealSharded/SetSharded (build path: registry installed first), and
-// always before sessions exist, so sessions see a complete slice.
+// both a metrics registry and a shard-partitioned serving path — a
+// local sharded table or a remote backend — are present. It runs from
+// EnableMetrics (load path: table installed first) and from
+// SealSharded/SetSharded/SetRemote (build path: registry installed
+// first), and always before sessions exist, so sessions see a
+// complete slice.
 func (m *Mapper) enableShardMetrics() {
-	if m.met == nil || m.met.reg == nil || m.sharded == nil {
+	if m.met == nil || m.met.reg == nil {
 		return
 	}
-	p := m.sharded.NumShards()
+	var p int
+	switch {
+	case m.sharded != nil:
+		p = m.sharded.NumShards()
+	case m.remote != nil:
+		p = m.remote.NumShards()
+	default:
+		return
+	}
 	if len(m.met.ShardPostings) == p {
 		return
 	}

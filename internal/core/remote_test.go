@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// memQuerier is an in-process ShardQuerier over a local sharded table:
+// the remote merge path exercised without any network, so failures in
+// these tests implicate core, not shardnet. Shards listed in fail
+// answer with an error, modelling a terminally lost shard.
+type memQuerier struct {
+	sf *sketch.ShardedFrozen
+
+	mu    sync.Mutex
+	fail  map[int]bool
+	calls int
+}
+
+func (mq *memQuerier) NumShards() int { return mq.sf.NumShards() }
+
+func (mq *memQuerier) QueryShard(ctx context.Context, shard int, trials []int32, words []sketch.Word) ([][]sketch.Posting, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mq.mu.Lock()
+	mq.calls++
+	failed := mq.fail[shard]
+	mq.mu.Unlock()
+	if failed {
+		return nil, fmt.Errorf("memQuerier: shard %d down", shard)
+	}
+	lists := make([][]sketch.Posting, len(trials))
+	for i, t32 := range trials {
+		lists[i] = mq.sf.Shard(shard).Lookup(int(t32), words[i])
+	}
+	return lists, nil
+}
+
+func (mq *memQuerier) setFail(shard int, down bool) {
+	mq.mu.Lock()
+	defer mq.mu.Unlock()
+	if mq.fail == nil {
+		mq.fail = map[int]bool{}
+	}
+	mq.fail[shard] = down
+}
+
+// remoteMapper clones a sharded mapper into a meta-only mapper served
+// by a memQuerier over the original's shards, via the real on-disk
+// manifest path (WriteIndexFile + ReadIndexMetaFile).
+func remoteMapper(t *testing.T, local *Mapper) (*Mapper, *memQuerier, IndexMeta) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "idx.jem")
+	if err := local.WriteIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m, meta, err := ReadIndexMetaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq := &memQuerier{sf: local.Sharded()}
+	m.SetRemote(mq)
+	return m, mq, meta
+}
+
+// TestRemoteMatchesLocalSharded: with every shard healthy, the remote
+// scatter-gather path is byte-identical to the local sharded one —
+// same hits, same positions, same PostingsScanned — at several shard
+// counts, for both the counting-only and positional (keepLists)
+// paths.
+func TestRemoteMatchesLocalSharded(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		local, segs := shardedIndexMapper(t, p)
+		remote, _, meta := remoteMapper(t, local)
+		if meta.Shards != p || meta.T != smallParams().T || meta.NumSubjects != local.NumSubjects() {
+			t.Fatalf("p=%d: meta %+v disagrees with mapper", p, meta)
+		}
+		if remote.Shards() != p {
+			t.Fatalf("p=%d: remote mapper reports %d shards", p, remote.Shards())
+		}
+		sl, sr := local.NewSession(), remote.NewSession()
+		for i, seg := range segs {
+			h1, ok1 := sl.MapSegment(seg)
+			h2, ok2 := sr.MapSegment(seg)
+			if ok1 != ok2 || h1 != h2 {
+				t.Fatalf("p=%d segment %d: local %v,%v remote %v,%v", p, i, h1, ok1, h2, ok2)
+			}
+			p1, pok1 := sl.MapSegmentPositional(seg)
+			p2, pok2 := sr.MapSegmentPositional(seg)
+			if pok1 != pok2 || p1 != p2 {
+				t.Fatalf("p=%d segment %d positional: local %v,%v remote %v,%v", p, i, p1, pok1, p2, pok2)
+			}
+		}
+		if sl.PostingsScanned() != sr.PostingsScanned() {
+			t.Fatalf("p=%d: postings scanned %d local != %d remote",
+				p, sl.PostingsScanned(), sr.PostingsScanned())
+		}
+		if lost := sr.LostShards(); lost != nil {
+			t.Fatalf("p=%d: healthy fleet reported lost shards %v", p, lost)
+		}
+	}
+}
+
+// TestRemoteDegradedAnswer: a terminally failing shard is recorded in
+// LostShards, the query still completes on the survivors, and once the
+// shard recovers fresh queries are exact again (and in particular do
+// not leak the previous query's posting lists into the positional
+// pass).
+func TestRemoteDegradedAnswer(t *testing.T) {
+	const p = 4
+	local, segs := shardedIndexMapper(t, p)
+	remote, mq, _ := remoteMapper(t, local)
+	sess := remote.NewSession()
+	// Warm the plists scratch with healthy positional queries first so a
+	// stale-slice leak from the lost shard would be visible.
+	for _, seg := range segs {
+		sess.MapSegmentPositional(seg)
+	}
+	if sess.LostShards() != nil {
+		t.Fatal("healthy warmup lost shards")
+	}
+	mq.setFail(1, true)
+	for _, seg := range segs {
+		sess.MapSegmentPositional(seg) // must complete, degraded
+	}
+	lost := sess.LostShards()
+	if len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("LostShards = %v, want [1]", lost)
+	}
+	mq.setFail(1, false)
+	// A recovered fleet must be exact again on a FRESH session (the lost
+	// set is a session-cumulative damage record).
+	sl, sr := local.NewSession(), remote.NewSession()
+	for i, seg := range segs {
+		p1, ok1 := sl.MapSegmentPositional(seg)
+		p2, ok2 := sr.MapSegmentPositional(seg)
+		if ok1 != ok2 || p1 != p2 {
+			t.Fatalf("segment %d after recovery: local %v,%v remote %v,%v", i, p1, ok1, p2, ok2)
+		}
+	}
+	if sr.LostShards() != nil {
+		t.Fatal("recovered fleet reported lost shards")
+	}
+}
+
+// TestRemoteAllShardsLost: even with the whole fleet down every query
+// completes (as a miss) and names every touched shard.
+func TestRemoteAllShardsLost(t *testing.T) {
+	const p = 2
+	local, segs := shardedIndexMapper(t, p)
+	remote, mq, _ := remoteMapper(t, local)
+	for sd := 0; sd < p; sd++ {
+		mq.setFail(sd, true)
+	}
+	sess := remote.NewSession()
+	for _, seg := range segs {
+		if _, ok := sess.MapSegment(seg); ok {
+			t.Fatal("query against a fully lost fleet reported a hit")
+		}
+	}
+	if lost := sess.LostShards(); len(lost) != p {
+		t.Fatalf("LostShards = %v, want all %d shards", lost, p)
+	}
+	if sess.PostingsScanned() != 0 {
+		t.Fatalf("lost fleet scanned %d postings", sess.PostingsScanned())
+	}
+}
+
+// TestRemoteContextCancelled: a session context cancelled before the
+// query turns every touched shard into a lost shard rather than a
+// hang or a panic.
+func TestRemoteContextCancelled(t *testing.T) {
+	local, segs := shardedIndexMapper(t, 2)
+	remote, _, _ := remoteMapper(t, local)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := remote.NewSession().WithContext(ctx)
+	if _, ok := sess.MapSegment(segs[0]); ok {
+		t.Fatal("cancelled query reported a hit")
+	}
+	if len(sess.LostShards()) == 0 {
+		t.Fatal("cancelled query recorded no lost shards")
+	}
+}
+
+// TestReadShardSubsetFile: a subset load yields exactly the kept
+// shards, each lookup-identical to the full load's shard, and the
+// manifest fingerprint matches the full read's.
+func TestReadShardSubsetFile(t *testing.T) {
+	const p = 4
+	local, _ := shardedIndexMapper(t, p)
+	path := filepath.Join(t.TempDir(), "idx.jem")
+	if err := local.WriteIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, fullMeta, err := ReadIndexMetaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := func(sd int) bool { return sd%2 == 0 }
+	tables, meta, err := ReadShardSubsetFile(path, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != fullMeta {
+		t.Fatalf("subset meta %+v != full meta %+v", meta, fullMeta)
+	}
+	if len(tables) != p/2 {
+		t.Fatalf("subset kept %d shards, want %d", len(tables), p/2)
+	}
+	sf := local.Sharded()
+	for sd, ft := range tables {
+		if !keep(sd) {
+			t.Fatalf("subset contains unkept shard %d", sd)
+		}
+		if ft.Entries() != sf.Shard(sd).Entries() {
+			t.Fatalf("shard %d: subset entries %d != full %d", sd, ft.Entries(), sf.Shard(sd).Entries())
+		}
+	}
+	if _, _, err := ReadShardSubsetFile(path, func(int) bool { return false }); err == nil {
+		t.Fatal("keep-none selection did not error")
+	}
+}
+
+// TestReadIndexMetaRejectsUnsharded: meta/subset loading requires the
+// JEMIDX05 layout; a JEMIDX04 file is refused with a pointed message,
+// not misparsed.
+func TestReadIndexMetaRejectsUnsharded(t *testing.T) {
+	m := buildTinyMapper(t)
+	path := filepath.Join(t.TempDir(), "flat.jem")
+	if err := m.WriteIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadIndexMetaFile(path); err == nil {
+		t.Fatal("ReadIndexMetaFile accepted an unsharded index")
+	}
+	if _, _, err := ReadShardSubsetFile(path, func(int) bool { return true }); err == nil {
+		t.Fatal("ReadShardSubsetFile accepted an unsharded index")
+	}
+	if _, _, err := ReadIndexMetaFile(filepath.Join(t.TempDir(), "missing.jem")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want ErrNotExist", err)
+	}
+}
+
+// TestSetRemoteGuards: clearing the backend of a meta-only mapper
+// panics (there is no local table to fall back to), and installing a
+// remote marks the mapper sealed with zero local entries.
+func TestSetRemoteGuards(t *testing.T) {
+	local, _ := shardedIndexMapper(t, 2)
+	remote, _, _ := remoteMapper(t, local)
+	if !remote.Sealed() {
+		t.Fatal("remote mapper not sealed")
+	}
+	if remote.Entries() != 0 {
+		t.Fatalf("meta-only mapper reports %d local entries", remote.Entries())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRemote(nil) on a meta-only mapper did not panic")
+		}
+	}()
+	remote.SetRemote(nil)
+}
+
+// buildTinyMapper builds a minimal unsharded sealed mapper for format
+// rejection tests.
+func buildTinyMapper(t *testing.T) *Mapper {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	_, contigs, _, _ := makeWorld(t, rng, 6000, 1000, 2)
+	m, err := NewMapper(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddSubjects(contigs)
+	m.Seal()
+	return m
+}

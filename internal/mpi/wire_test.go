@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureLoopbackSanity: the measurement machinery itself returns
+// physically plausible numbers (kept loose — it must pass on any CI
+// box, loaded or not).
+func TestMeasureLoopbackSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire measurement is not a -short test")
+	}
+	wm, err := MeasureLoopback(50, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.Latency <= 0 || wm.Latency > 10*time.Millisecond {
+		t.Fatalf("implausible loopback RTT %v", wm.Latency)
+	}
+	if bw := 1.0 / wm.SecPerByte; bw < 50e6 || bw > 1e12 {
+		t.Fatalf("implausible loopback bandwidth %.3g B/s", bw)
+	}
+	t.Logf("measured: alpha=%v mu=%.3g s/B (%.2f GB/s)", wm.Latency, wm.SecPerByte, 1.0/wm.SecPerByte/1e9)
+}
+
+// TestLoopbackModelTracksMeasurement validates the α–β constants the
+// simulator charges against the real wire: the Loopback model must
+// stay within an order of magnitude of what MeasureLoopback observes.
+// The repo's rule (EXPERIMENTS.md "Wire model validation") is to
+// re-fit the constants when they drift beyond 2× on a quiet machine;
+// the test bound is 10× so a loaded CI worker does not flake while a
+// genuinely wrong model (e.g. charging cluster Ethernet latency to a
+// same-host fleet, a 7× error) still gets flagged on the latency axis
+// it is wrong about... and by the EXPERIMENTS.md comparison table.
+func TestLoopbackModelTracksMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire measurement is not a -short test")
+	}
+	wm, err := MeasureLoopback(100, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := Loopback()
+	if r := ratio(float64(model.Latency), float64(wm.Latency)); r > 10 {
+		t.Errorf("model latency %v vs measured %v: %.1fx apart (re-fit Loopback, see EXPERIMENTS.md)",
+			model.Latency, wm.Latency, r)
+	}
+	if r := ratio(model.SecPerByte, wm.SecPerByte); r > 10 {
+		t.Errorf("model mu %.3g vs measured %.3g s/B: %.1fx apart (re-fit Loopback, see EXPERIMENTS.md)",
+			model.SecPerByte, wm.SecPerByte, r)
+	}
+	t.Logf("model alpha=%v measured=%v; model mu=%.3g measured=%.3g",
+		model.Latency, wm.Latency, model.SecPerByte, wm.SecPerByte)
+}
+
+func ratio(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}

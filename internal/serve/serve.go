@@ -34,6 +34,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -421,12 +422,31 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		h.Set("X-JEM-Bad-Records", fmt.Sprint(stats.BadRecords))
 		h.Set("X-JEM-Postings-Scanned", fmt.Sprint(stats.PostingsScanned))
 		h.Set("X-JEM-Index-Generation", fmt.Sprint(v.gen))
+		if len(stats.ShardsLost) > 0 {
+			// Degraded answer: the rows are complete but segments whose
+			// probes routed to these shards were mapped without their
+			// postings. Clients that need exactness retry the request.
+			h.Set("X-JEM-Shards-Lost", joinInts(stats.ShardsLost))
+		}
 	})
 	if err != nil {
 		// The response write failed; nothing sensible to send.
 		s.met.canceled.Inc()
 		ro.fail(499, "response write failed: "+err.Error())
 	}
+}
+
+// joinInts renders ids as a comma-separated list for the
+// X-JEM-Shards-Lost header.
+func joinInts(ids []int) string {
+	var b []byte
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(id), 10)
+	}
+	return string(b)
 }
 
 // classify maps run errors to HTTP statuses and moves the failure

@@ -130,6 +130,21 @@ type Mapper struct {
 	contigs []Record
 	reg     *obs.Registry
 	met     *mapperMetrics
+	// closer releases the remote serving backend (the shardnet
+	// coordinator's connection pools) for a fleet-backed mapper; nil
+	// for local mappers.
+	closer io.Closer
+}
+
+// Close releases resources held by the mapper's serving backend. Only
+// a remote mapper (OpenOptions.ShardServers) holds any — its
+// coordinator's connection pools — so Close is a no-op returning nil
+// for local mappers. The mapper must not be queried after Close.
+func (m *Mapper) Close() error {
+	if m.closer != nil {
+		return m.closer.Close()
+	}
+	return nil
 }
 
 // NewMapper indexes contigs with the JEM sketch. The contig slice is

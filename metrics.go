@@ -1,6 +1,8 @@
 package jem
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,6 +83,12 @@ type runScope struct {
 	// registry's obs.Wall gauges, so per-run and fleet-wide wall time
 	// never disagree by float rounding.
 	readWallNS, mapWallNS, writeWallNS atomic.Int64
+
+	// lost is the union of shard ids lost by this run's worker
+	// sessions (remote serving only; see Stats.ShardsLost). Guarded by
+	// lostMu: workers merge their sessions' lost sets as they exit.
+	lostMu sync.Mutex
+	lost   map[int]struct{}
 }
 
 // newRun opens a fresh per-run scope over the mapper's instruments.
@@ -121,6 +129,24 @@ func (rs *runScope) addDrained(segments, mapped int64) {
 // moves here.
 func (rs *runScope) addPostings(n int64) { rs.postings.Add(n) }
 
+// addLostShards merges one worker session's lost-shard ids into the
+// run's degraded-answer record. The coordinator's registry counter
+// (jem_shardnet_shards_lost_total) already counted each loss; this is
+// the per-run view that becomes Stats.ShardsLost.
+func (rs *runScope) addLostShards(ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	rs.lostMu.Lock()
+	defer rs.lostMu.Unlock()
+	if rs.lost == nil {
+		rs.lost = make(map[int]struct{}, len(ids))
+	}
+	for _, sd := range ids {
+		rs.lost[sd] = struct{}{}
+	}
+}
+
 func (rs *runScope) addReadWall(d time.Duration) {
 	rs.mm.readWall.Add(d)
 	rs.readWallNS.Add(int64(d))
@@ -141,7 +167,18 @@ func (rs *runScope) addWriteWall(d time.Duration) {
 // goroutines have all exited by then, so the loads observe every
 // update).
 func (rs *runScope) stats() Stats {
+	var lost []int
+	rs.lostMu.Lock()
+	if len(rs.lost) > 0 {
+		lost = make([]int, 0, len(rs.lost))
+		for sd := range rs.lost {
+			lost = append(lost, sd)
+		}
+		sort.Ints(lost)
+	}
+	rs.lostMu.Unlock()
 	return Stats{
+		ShardsLost:      lost,
 		Reads:           int(rs.reads.Load()),
 		Segments:        int(rs.segments.Load()),
 		Mapped:          int(rs.mapped.Load()),

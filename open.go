@@ -1,9 +1,15 @@
 package jem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+
+	"repro/internal/core"
+	"repro/internal/minimizer"
+	"repro/internal/obs"
+	"repro/internal/shardnet"
 )
 
 // OpenOptions configures Open, the unified construction entry point
@@ -25,6 +31,17 @@ type OpenOptions struct {
 	// Other load errors (missing file, unknown format) are returned
 	// as-is, and the fallback requires Contigs.
 	RebuildOnCorrupt bool
+	// ShardServers, when non-empty, serves queries from a fleet of
+	// shard-server processes (jem-shardd) at these addresses
+	// ("host:port" for TCP, "unix:/path" for unix sockets) instead of
+	// loading shard payloads locally. Requires IndexPath: only the
+	// index manifest is read here (sketch parameters, subject
+	// metadata, fleet fingerprint); the postings live in the servers.
+	// The fleet must collectively own every shard of that exact index
+	// — a fingerprint or coverage mismatch fails Open. See
+	// docs/DISTRIBUTED.md. Mutually exclusive with RebuildOnCorrupt
+	// (there is no local table to rebuild into).
+	ShardServers []string
 	// Options configures the build and rebuild paths and supplies the
 	// serving knobs. A loaded index carries its own sketch parameters,
 	// which override the corresponding fields; Workers, TileStride and
@@ -39,6 +56,9 @@ type OpenInfo struct {
 	// Rebuilt is true when the index at IndexPath was corrupt and the
 	// mapper was rebuilt from Contigs instead (RebuildOnCorrupt).
 	Rebuilt bool
+	// Remote is true when the mapper serves through a shard-server
+	// fleet (ShardServers) rather than local tables.
+	Remote bool
 	// IndexErr is the load error that triggered the rebuild, nil unless
 	// Rebuilt. Callers typically surface it as a warning: the corrupt
 	// file still exists and should not be served or trusted.
@@ -59,6 +79,21 @@ type OpenInfo struct {
 // *OptionError values wrapping ErrInvalidOptions on bad options.
 func Open(opts OpenOptions) (*Mapper, OpenInfo, error) {
 	var info OpenInfo
+	if len(opts.ShardServers) > 0 {
+		if opts.IndexPath == "" {
+			return nil, info, fmt.Errorf("jem: ShardServers needs IndexPath (the manifest carries the sketch parameters and the fleet fingerprint)")
+		}
+		if opts.RebuildOnCorrupt {
+			return nil, info, fmt.Errorf("jem: ShardServers is incompatible with RebuildOnCorrupt (remote serving has no local table to rebuild)")
+		}
+		m, err := openRemote(opts)
+		if err != nil {
+			return nil, info, err
+		}
+		info.FromIndex = true
+		info.Remote = true
+		return m, info, nil
+	}
 	if opts.IndexPath != "" {
 		m, err := openIndexFile(opts)
 		if err == nil {
@@ -78,6 +113,54 @@ func Open(opts OpenOptions) (*Mapper, OpenInfo, error) {
 		return nil, OpenInfo{}, err
 	}
 	return m, info, nil
+}
+
+// openRemote wires a meta-only mapper to a shard-server fleet: read
+// the local manifest (parameters, subjects, fingerprint), dial and
+// handshake every server, verify the fleet serves the same index the
+// manifest describes, and install the coordinator as the mapper's
+// serving backend. The returned mapper owns the coordinator's
+// connection pools; release them with Mapper.Close.
+//
+// and the dial budget is bounded by the coordinator's DialTimeout
+//
+//jem:detached construction-time dial: Open predates context threading,
+func openRemote(opts OpenOptions) (*Mapper, error) {
+	reg := opts.Options.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cm, meta, err := core.ReadIndexMetaFile(opts.IndexPath)
+	if err != nil {
+		return nil, fmt.Errorf("jem: index %s: %w", opts.IndexPath, err)
+	}
+	coord, err := shardnet.Dial(context.Background(), opts.ShardServers, shardnet.Config{}, reg)
+	if err != nil {
+		return nil, fmt.Errorf("jem: dialing shard servers: %w", err)
+	}
+	fi := coord.Info()
+	if fi.Shards != meta.Shards || fi.T != meta.T ||
+		fi.NumSubjects != meta.NumSubjects || fi.ManifestCRC != meta.ManifestCRC {
+		_ = coord.Close()
+		return nil, fmt.Errorf(
+			"jem: shard fleet serves a different index than %s: fleet has %d shards, T=%d, %d subjects, manifest %08x; manifest says %d shards, T=%d, %d subjects, %08x",
+			opts.IndexPath, fi.Shards, fi.T, fi.NumSubjects, fi.ManifestCRC,
+			meta.Shards, meta.T, meta.NumSubjects, meta.ManifestCRC)
+	}
+	cm.SetRemote(coord)
+	met := newMapperMetrics(reg, cm)
+	p := cm.Sketcher().Params()
+	o := Options{
+		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,
+		HashOrdering: p.Order == minimizer.OrderHash,
+		Metrics:      reg,
+		Workers:      opts.Options.Workers,
+		TileStride:   opts.Options.TileStride,
+	}
+	if meta.Shards > 1 {
+		o.Shards = meta.Shards
+	}
+	return &Mapper{opts: o, core: cm, contigs: opts.Contigs, reg: reg, met: met, closer: coord}, nil
 }
 
 // openIndexFile loads the index file and adopts the caller's serving

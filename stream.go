@@ -50,6 +50,14 @@ type Stats struct {
 	// PostingsScanned is the total number of sketch-table postings
 	// examined across all lookups — the dominant unit of query work.
 	PostingsScanned int64
+	// ShardsLost, non-nil only when mapping through a remote shard
+	// fleet (OpenOptions.ShardServers), is the sorted set of shard ids
+	// that failed terminally during the run. A non-empty value marks
+	// the output as a degraded answer: every row was produced, but
+	// segments whose probes routed to a lost shard were mapped without
+	// that shard's postings (see docs/DISTRIBUTED.md). jem-serve
+	// surfaces it as the X-JEM-Shards-Lost response header.
+	ShardsLost []int
 	// ReadWall is time spent parsing FASTA/FASTQ records.
 	ReadWall time.Duration
 	// MapWall is aggregate worker time spent sketching and mapping.
@@ -351,6 +359,7 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 			defer func() {
 				run.addMapWall(mapWall)
 				run.addPostings(sess.PostingsScanned())
+				run.addLostShards(sess.LostShards())
 				if sp != nil {
 					shardMu.Lock()
 					shardAgg = mergeShardWork(shardAgg, sess.ShardWork())
