@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-tests lint-fix api-check api-update test test-short fault-test serve-smoke dist-smoke obs-smoke bench bench-smoke bench-core bench-obs bench-dist metrics-demo fuzz repro repro-quick clean
+.PHONY: all build vet lint lint-tests lint-fix api-check api-update test test-short fault-test serve-smoke dist-smoke obs-smoke mem-smoke bench bench-smoke bench-core bench-obs bench-dist bench-mem metrics-demo fuzz repro repro-quick clean
 
 all: build vet lint lint-tests api-check test
 
@@ -82,6 +82,16 @@ obs-smoke:
 	$(GO) test -race -run 'TestTrace|TestSlowRequest|TestRequestLog|TestObsSoak' ./internal/serve/
 	$(GO) test -race -run 'TestStreamAttachesSpans|TestStreamSpansUnsharded|TestMapChildSpan' .
 
+# Out-of-core index serving under the race detector: the JEMIDX06
+# corruption matrix (truncation, payload/manifest byte flips, poisoned
+# lazy fault-ins), heap/mmap/budgeted byte identity at the core and
+# facade layers, and the two-process shared-mapping test. See
+# docs/MEMORY.md for the contracts these prove.
+mem-smoke:
+	$(GO) test -race -run 'TestOpenIndexFile|TestLazyFaultIn|TestOpenShardSubset' ./internal/core/
+	$(GO) test -race -run 'TestOpenMemory|TestStreamSurfacesFaultInFailure|TestSharedMappingTwoProcesses' .
+	$(GO) test -race -run TestServeMemoryAccounting ./internal/serve/
+
 # Full benchmark sweep (micro-benchmarks + one bench per paper exhibit).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -108,6 +118,12 @@ bench-obs:
 # in-process shard-server fleet at p=2/4/8, byte-identity asserted.
 bench-dist:
 	$(GO) run ./cmd/jem-bench dist
+
+# Refresh the committed memory-mode point (BENCH_mem.json): cold-open
+# cost, resident/mapped split, and ns/read for heap vs mmap vs a
+# budgeted auto open of the same saved index.
+bench-mem:
+	$(GO) run ./cmd/jem-bench mem
 
 # End-to-end observability demo: synthesize a tiny dataset, run the
 # streaming mapper with a live metrics server, and scrape /metrics and

@@ -85,10 +85,10 @@ func TestShardedFacadeByteIdenticalTSV(t *testing.T) {
 	}
 }
 
-// TestCanonicalDelegation pins the deprecation contract: the old
-// facade names return exactly what the canonical context-first methods
-// return.
-func TestCanonicalDelegation(t *testing.T) {
+// TestCanonicalDeterminism pins the repeatability contract of the
+// canonical entry points: repeated Map and Stream calls on one mapper
+// return identical results regardless of worker count.
+func TestCanonicalDeterminism(t *testing.T) {
 	ds := buildSmallDataset(t)
 	m, err := jem.NewMapper(ds.Contigs, smallTestOptions())
 	if err != nil {
@@ -98,11 +98,11 @@ func TestCanonicalDelegation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.MapReads(ds.Reads); !reflect.DeepEqual(got, canonical) {
-		t.Fatal("MapReads diverges from Map")
+	if got := mapAll(m, ds.Reads); !reflect.DeepEqual(got, canonical) {
+		t.Fatal("repeated Map call diverges")
 	}
-	if got, err := m.MapReadsContext(context.Background(), ds.Reads); err != nil || !reflect.DeepEqual(got, canonical) {
-		t.Fatalf("MapReadsContext diverges from Map (err=%v)", err)
+	if got, err := m.Map(context.Background(), ds.Reads, jem.MapOptions{Workers: 2}); err != nil || !reflect.DeepEqual(got, canonical) {
+		t.Fatalf("Map with a worker override diverges (err=%v)", err)
 	}
 
 	var fa bytes.Buffer
@@ -113,11 +113,11 @@ func TestCanonicalDelegation(t *testing.T) {
 	if _, err := m.Stream(context.Background(), bytes.NewReader(fa.Bytes()), &out1, jem.StreamOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.MapStream(bytes.NewReader(fa.Bytes()), &out2); err != nil {
+	if _, err := streamAll(m, bytes.NewReader(fa.Bytes()), &out2); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
-		t.Fatal("MapStream diverges from Stream")
+		t.Fatal("repeated Stream call diverges")
 	}
 	// Per-call worker override must not change output either.
 	var out3 bytes.Buffer
@@ -206,7 +206,7 @@ func TestOpenBuildLoadRebuild(t *testing.T) {
 	if info.FromIndex || info.Rebuilt || info.IndexErr != nil {
 		t.Fatalf("build path reported %+v", info)
 	}
-	want := built.MapReads(ds.Reads)
+	want := mapAll(built, ds.Reads)
 	if err := built.SaveIndexFile(idxPath); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestOpenBuildLoadRebuild(t *testing.T) {
 	if loaded.Shards() != 3 {
 		t.Fatalf("loaded mapper has %d shards, want 3", loaded.Shards())
 	}
-	if got := loaded.MapReads(ds.Reads); !reflect.DeepEqual(got, want) {
+	if got := mapAll(loaded, ds.Reads); !reflect.DeepEqual(got, want) {
 		t.Fatal("loaded mapper maps differently")
 	}
 
@@ -248,7 +248,7 @@ func TestOpenBuildLoadRebuild(t *testing.T) {
 	if !info.Rebuilt || info.FromIndex || !errors.Is(info.IndexErr, jem.ErrIndexChecksum) {
 		t.Fatalf("rebuild path reported %+v", info)
 	}
-	if got := rebuilt.MapReads(ds.Reads); !reflect.DeepEqual(got, want) {
+	if got := mapAll(rebuilt, ds.Reads); !reflect.DeepEqual(got, want) {
 		t.Fatal("rebuilt mapper maps differently")
 	}
 

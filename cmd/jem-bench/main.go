@@ -12,7 +12,8 @@
 //	jem-bench core              core mapping throughput -> BENCH_core.json
 //	jem-bench obs               tracing overhead on/off -> BENCH_obs.json
 //	jem-bench dist              remote vs local shard serving -> BENCH_dist.json
-//	jem-bench all               everything above in order (except core/obs/dist)
+//	jem-bench mem               heap vs mmap vs budgeted serving -> BENCH_mem.json
+//	jem-bench all               everything above in order (except core/obs/dist/mem)
 //
 // The -scale flag scales the paper's genome lengths; the default 0.01
 // keeps a full "all" run in the minutes range on a laptop. Absolute
@@ -42,14 +43,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "hash family seed")
 		csvDir   = flag.String("csv", "", "also write raw data as CSV files into this directory")
 		benchOut = flag.String("bench-out", "",
-			"output path for the core/obs/dist subcommand's machine-readable result (default BENCH_<sub>.json)")
+			"output path for the core/obs/dist/mem subcommand's machine-readable result (default BENCH_<sub>.json)")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics, /statusz, /debug/vars and /debug/pprof while benchmarks run (empty = off)")
 		metricsLinger = flag.Duration("metrics-linger", 0,
 			"keep the metrics server up this long after the run finishes (lets a scraper collect the final state)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|core|obs|dist|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: jem-bench [flags] {table1|fig5|fig6|table2|fig7a|fig7b|fig8|fig9|ablations|coverage|core|obs|dist|mem|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -271,6 +272,13 @@ func run(cmd string, scale float64, opts jem.Options, w io.Writer, csvDir, bench
 			benchOut = "BENCH_obs.json"
 		}
 		if err := benchObs(scale, opts, w, benchOut); err != nil {
+			return err
+		}
+	case "mem":
+		if benchOut == "" {
+			benchOut = "BENCH_mem.json"
+		}
+		if err := benchMem(scale, opts, w, benchOut); err != nil {
 			return err
 		}
 	case "all":

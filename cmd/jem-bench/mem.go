@@ -1,0 +1,183 @@
+// The mem subcommand records the trade the memory modes make: for one
+// saved index, the cold-open cost, the resident/mapped byte split, and
+// the steady-state per-read mapping cost of a heap load, a full mmap,
+// and a budgeted auto open (half the index on the heap, the rest
+// lazy). The result is written as machine-readable JSON
+// (BENCH_mem.json at the repo root) — the footprint trajectory
+// counterpart to BENCH_core.json. Numbers are only comparable between
+// runs on the same machine; the point of the file is trend.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// memResult is the BENCH_mem.json schema. Field names are stable:
+// downstream tooling diffs them across commits.
+type memResult struct {
+	Schema    string `json:"schema"` // "jem-bench/mem/v1"
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	Procs     int    `json:"gomaxprocs"`
+
+	Dataset    string  `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	Contigs    int     `json:"contigs"`
+	K          int     `json:"k"`
+	W          int     `json:"w"`
+	Trials     int     `json:"trials"`
+	SegLen     int     `json:"segment_len"`
+	Shards     int     `json:"shards"`
+	IndexBytes int64   `json:"index_file_bytes"`
+	Budget     int64   `json:"auto_budget_bytes"`
+
+	Modes []memModeResult `json:"modes"`
+}
+
+// memModeResult is one memory mode's measured point.
+type memModeResult struct {
+	Mode          string  `json:"mode"` // "heap", "mmap", "auto-budget"
+	OpenNS        int64   `json:"open_ns"`
+	ResidentBytes int64   `json:"resident_bytes"` // at open, before any fault-in
+	MappedBytes   int64   `json:"mapped_bytes"`
+	LazyShards    int     `json:"lazy_shards"`
+	Reads         int     `json:"reads"`
+	Passes        int     `json:"passes"`
+	WallNS        int64   `json:"wall_ns"`
+	NSPerRead     float64 `json:"ns_per_read"`
+}
+
+// benchMem saves a sharded index for the bsplendens-like dataset and
+// measures each memory mode's open cost, byte split, and streaming
+// throughput against it, writing the result to outPath.
+func benchMem(scale float64, opts jem.Options, w io.Writer, outPath string) error {
+	ds, err := experiments.Build(mustSpec("bsplendens-like"), scale)
+	if err != nil {
+		return err
+	}
+	// The budgeted mode needs shards to split between heap and lazy; an
+	// unsharded run would degenerate to all-heap.
+	if opts.Shards < 2 {
+		opts.Shards = 8
+	}
+	builder, err := jem.NewMapper(ds.Contigs, opts)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "jem-bench-mem")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	idx := filepath.Join(dir, "bench.jemidx")
+	if err := builder.SaveIndexFile(idx); err != nil {
+		return err
+	}
+	st, err := os.Stat(idx)
+	if err != nil {
+		return err
+	}
+
+	var fastq bytes.Buffer
+	for _, r := range ds.Reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, strings.Repeat("I", len(r.Seq)))
+	}
+	input := fastq.Bytes()
+	ctx := context.Background()
+
+	res := memResult{
+		Schema:     "jem-bench/mem/v1",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Procs:      runtime.GOMAXPROCS(0),
+		Dataset:    ds.Spec.Name,
+		Scale:      scale,
+		Contigs:    len(ds.Contigs),
+		K:          opts.K,
+		W:          opts.W,
+		Trials:     opts.Trials,
+		SegLen:     opts.SegmentLen,
+		Shards:     builder.Shards(),
+		IndexBytes: st.Size(),
+		Budget:     builder.IndexBytes() / 2,
+	}
+
+	modes := []struct {
+		name string
+		mem  jem.Memory
+	}{
+		{"heap", jem.Memory{Mode: jem.MemoryHeap}},
+		{"mmap", jem.Memory{Mode: jem.MemoryMMap}},
+		{"auto-budget", jem.Memory{Mode: jem.MemoryAuto, Budget: res.Budget}},
+	}
+	for _, mc := range modes {
+		loadOpts := opts
+		loadOpts.Memory = mc.mem
+		start := time.Now()
+		m, info, err := jem.Open(jem.OpenOptions{IndexPath: idx, Options: loadOpts})
+		if err != nil {
+			return fmt.Errorf("%s open: %w", mc.name, err)
+		}
+		mr := memModeResult{
+			Mode:          mc.name,
+			OpenNS:        time.Since(start).Nanoseconds(),
+			ResidentBytes: info.Memory.ResidentBytes,
+			MappedBytes:   info.Memory.MappedBytes,
+		}
+		for _, r := range info.Memory.Shards {
+			if r == jem.ShardLazy {
+				mr.LazyShards++
+			}
+		}
+		// One warmup pass faults in whatever the workload touches, so
+		// the timed passes measure steady state for every mode alike.
+		if _, err := m.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{}); err != nil {
+			return fmt.Errorf("%s warmup: %w", mc.name, err)
+		}
+		for mr.Passes < 3 || (mr.WallNS < int64(time.Second) && mr.Passes < 20) {
+			t0 := time.Now()
+			stats, err := m.Stream(ctx, bytes.NewReader(input), io.Discard, jem.StreamOptions{})
+			if err != nil {
+				return fmt.Errorf("%s pass %d: %w", mc.name, mr.Passes, err)
+			}
+			mr.WallNS += time.Since(t0).Nanoseconds()
+			mr.Reads += stats.Reads
+			mr.Passes++
+		}
+		mr.NSPerRead = float64(mr.WallNS) / float64(mr.Reads)
+		if err := m.Close(); err != nil {
+			return fmt.Errorf("%s close: %w", mc.name, err)
+		}
+		res.Modes = append(res.Modes, mr)
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "memory benchmark (%s @ scale %g, %d shards, %d-byte index)\n",
+		res.Dataset, res.Scale, res.Shards, res.IndexBytes)
+	for _, mr := range res.Modes {
+		fmt.Fprintf(w, "  %-12s %8.2fms open  %10d resident  %10d mapped  %2d lazy  %8.0f ns/read\n",
+			mr.Mode, float64(mr.OpenNS)/1e6, mr.ResidentBytes, mr.MappedBytes, mr.LazyShards, mr.NSPerRead)
+	}
+	fmt.Fprintf(w, "  wrote %s\n", outPath)
+	return nil
+}

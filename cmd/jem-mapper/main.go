@@ -69,6 +69,8 @@ func main() {
 		sam         = flag.Bool("sam", false, "verify top hits by alignment and write SAM (slower)")
 		saveIdx     = flag.String("save-index", "", "write the sketch index here after building (atomic temp+rename)")
 		loadIdx     = flag.String("load-index", "", "load a sketch index instead of sketching contigs")
+		memory      = flag.String("memory", "", "how -load-index holds the table: heap, mmap, or auto (see docs/MEMORY.md)")
+		memBudget   = flag.Int64("memory-budget", 0, "heap byte budget for -memory auto (0 = no cap)")
 		stream      = flag.Bool("stream", false, "map reads as a stream (bounded memory) and report per-phase stats")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile here")
 		onBadRecord = flag.String("on-bad-record", "fail",
@@ -100,7 +102,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
 		os.Exit(2)
 	}
-	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers, Shards: *shards}
+	memMode, err := jem.ParseMemoryMode(*memory)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jem-mapper: %v\n", err)
+		os.Exit(2)
+	}
+	opts := jem.Options{K: *k, W: *w, Trials: *t, SegmentLen: *l, Seed: *seed, Workers: *workers, Shards: *shards,
+		Memory: jem.Memory{Mode: memMode, Budget: *memBudget}}
 	cfg := runConfig{
 		contigPath: flag.Arg(0), readPath: flag.Arg(1),
 		opts: opts, ranks: *ranks, outPath: *outPath, paf: *paf, sam: *sam,
@@ -260,6 +268,9 @@ func run(ctx context.Context, cfg runConfig) (retErr error) {
 	if err != nil {
 		return err
 	}
+	// Releases the file mapping of an mmap-backed -load-index; a no-op
+	// for heap-resident mappers.
+	defer mapper.Close()
 	if cfg.saveIndex != "" {
 		if err := mapper.SaveIndexFile(cfg.saveIndex); err != nil {
 			return err

@@ -59,19 +59,21 @@ func main() {
 		contigs      namedPaths
 		shardServers namedPaths
 
-		addr     = flag.String("addr", ":8844", "HTTP listen address")
-		k        = flag.Int("k", 16, "k-mer size (builds from -contigs)")
-		w        = flag.Int("w", 100, "minimizer window size (builds from -contigs)")
-		t        = flag.Int("t", 30, "sketch trials T (builds from -contigs)")
-		l        = flag.Int("l", 1000, "end segment length (builds from -contigs)")
-		seed     = flag.Int64("seed", 1, "hash family seed (builds from -contigs)")
-		shards   = flag.Int("shards", 0, "index shards for builds (0/1 = unsharded)")
-		inflight = flag.Int("max-in-flight", 0, "concurrent mapping requests (0 = default 4)")
-		queue    = flag.Int("max-queue", 0, "waiting requests before 429 (0 = 4x max-in-flight)")
-		reqWork  = flag.Int("workers-per-request", 0, "mapping workers per request (0 = GOMAXPROCS/max-in-flight)")
-		defTO    = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = none)")
-		maxTO    = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout")
-		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+		addr      = flag.String("addr", ":8844", "HTTP listen address")
+		k         = flag.Int("k", 16, "k-mer size (builds from -contigs)")
+		w         = flag.Int("w", 100, "minimizer window size (builds from -contigs)")
+		t         = flag.Int("t", 30, "sketch trials T (builds from -contigs)")
+		l         = flag.Int("l", 1000, "end segment length (builds from -contigs)")
+		seed      = flag.Int64("seed", 1, "hash family seed (builds from -contigs)")
+		shards    = flag.Int("shards", 0, "index shards for builds (0/1 = unsharded)")
+		memory    = flag.String("memory", "", "how -index loads hold the table: heap, mmap, or auto (builds are always heap)")
+		memBudget = flag.Int64("memory-budget", 0, "heap byte budget for -memory auto (0 = no cap)")
+		inflight  = flag.Int("max-in-flight", 0, "concurrent mapping requests (0 = default 4)")
+		queue     = flag.Int("max-queue", 0, "waiting requests before 429 (0 = 4x max-in-flight)")
+		reqWork   = flag.Int("workers-per-request", 0, "mapping workers per request (0 = GOMAXPROCS/max-in-flight)")
+		defTO     = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = none)")
+		maxTO     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
 
 		traceRing   = flag.Int("trace-ring", 256, "completed request traces retained at /debug/traces")
 		traceSample = flag.Int("trace-sample", 8, "keep 1 in N ok-and-fast traces (errors/slow/p99 always kept)")
@@ -98,8 +100,14 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+	memMode, err := jem.ParseMemoryMode(*memory)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jem-serve:", err)
+		os.Exit(2)
+	}
 	if err := run(logger, indexes, contigs, shardServers, config{
 		addr: *addr, k: *k, w: *w, t: *t, l: *l, seed: *seed, shards: *shards,
+		memory:   jem.Memory{Mode: memMode, Budget: *memBudget},
 		inflight: *inflight, queue: *queue, reqWork: *reqWork,
 		defTO: *defTO, maxTO: *maxTO, drainTO: *drainTO,
 		traceRing: *traceRing, traceSample: *traceSample, slowReq: *slowReq,
@@ -115,6 +123,7 @@ type config struct {
 	k, w, t, l               int
 	seed                     int64
 	shards                   int
+	memory                   jem.Memory
 	inflight, queue, reqWork int
 	defTO, maxTO, drainTO    time.Duration
 
@@ -157,7 +166,7 @@ func run(logger *slog.Logger, indexes, contigs, shardServers namedPaths, cfg con
 		fleets[ss.name] = strings.Split(ss.path, ",")
 	}
 	opts := jem.Options{K: cfg.k, W: cfg.w, Trials: cfg.t, SegmentLen: cfg.l,
-		Seed: cfg.seed, Shards: cfg.shards, Metrics: reg}
+		Seed: cfg.seed, Shards: cfg.shards, Memory: cfg.memory, Metrics: reg}
 	loaded := make(map[string]bool)
 	// Remote mappers hold coordinator connection pools; release them
 	// when the server exits.
@@ -236,11 +245,14 @@ func run(logger *slog.Logger, indexes, contigs, shardServers namedPaths, cfg con
 }
 
 func logIndex(logger *slog.Logger, name string, m *jem.Mapper, how string) {
+	resident, mapped := m.IndexMemory()
 	logger.Info("index ready",
 		slog.String("name", name),
 		slog.String("source", how),
 		slog.Int("contigs", m.NumContigs()),
 		slog.Int("shards", m.Shards()),
 		slog.Int64("index_bytes", m.IndexBytes()),
+		slog.Int64("resident_bytes", resident),
+		slog.Int64("mapped_bytes", mapped),
 	)
 }

@@ -1,5 +1,5 @@
 // Command jem-shardd is a shard server: it loads a subset of the
-// shards of a sharded (JEMIDX05) sketch index and answers scatter-
+// shards of a sharded (JEMIDX06/JEMIDX05) sketch index and answers scatter-
 // gather count queries from coordinators (jem-serve -shard-servers,
 // or any jem.Open with OpenOptions.ShardServers) over the shardnet
 // wire protocol. A fleet of jem-shardd processes that collectively
@@ -42,8 +42,9 @@ import (
 func main() {
 	var (
 		listen      = flag.String("listen", ":8855", "listen address: host:port (TCP) or unix:/path")
-		index       = flag.String("index", "", "sharded (JEMIDX05) index file to serve from (required)")
+		index       = flag.String("index", "", "sharded (JEMIDX06/JEMIDX05) index file to serve from (required)")
 		shards      = flag.String("shards", "all", "shards to own: ids and ranges (\"0,2,5-7\"), a stripe (\"k/n\"), or \"all\"")
+		memory      = flag.String("memory", "", "how owned shards are held: heap, mmap, or auto (JEMIDX06 files only; see docs/MEMORY.md)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /statusz on this address (empty = off)")
 	)
 	flag.Usage = func() {
@@ -55,20 +56,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*listen, *index, *shards, *metricsAddr); err != nil {
+	if err := run(*listen, *index, *shards, *memory, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "jem-shardd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, index, shardSpec, metricsAddr string) error {
+// parseMemory maps the -memory flag to a core spec. The empty default
+// is heap — the historical jem-shardd behavior — so turning on page
+// sharing across a co-located fleet is an explicit choice.
+func parseMemory(s string) (core.MemorySpec, error) {
+	switch s {
+	case "", "heap":
+		return core.MemorySpec{Mode: core.MemoryHeap}, nil
+	case "mmap":
+		return core.MemorySpec{Mode: core.MemoryMMap}, nil
+	case "auto":
+		return core.MemorySpec{Mode: core.MemoryAuto}, nil
+	}
+	return core.MemorySpec{}, fmt.Errorf("bad -memory %q (want heap, mmap, or auto)", s)
+}
+
+func run(listen, index, shardSpec, memory, metricsAddr string) error {
 	keep, err := parseShardSpec(shardSpec)
 	if err != nil {
 		return err
 	}
-	tables, meta, err := core.ReadShardSubsetFile(index, keep)
+	spec, err := parseMemory(memory)
 	if err != nil {
 		return err
+	}
+	tables, meta, mapping, err := core.OpenShardSubset(index, keep, spec)
+	if err != nil {
+		return err
+	}
+	if mapping != nil {
+		defer func() { _ = mapping.Close() }()
 	}
 	srv, err := shardnet.NewServer(tables, shardnet.Info{
 		Shards:      meta.Shards,

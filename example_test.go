@@ -35,7 +35,7 @@ func ExampleNewMapper() {
 	if err != nil {
 		panic(err)
 	}
-	for _, m := range mapper.MapReads([]jem.Record{read}) {
+	for _, m := range mapAll(mapper, []jem.Record{read}) {
 		fmt.Printf("%s %s -> %s\n", m.ReadID, m.End, m.ContigID)
 	}
 	// Output:
@@ -76,7 +76,7 @@ func ExampleBuildScaffolds() {
 	if err != nil {
 		panic(err)
 	}
-	scaffolds := jem.BuildScaffolds(mapper.MapReads(reads), len(contigs), 1)
+	scaffolds := jem.BuildScaffolds(mapAll(mapper, reads), len(contigs), 1)
 	for _, sc := range scaffolds {
 		fmt.Println(len(sc.Contigs), "contigs chained")
 	}
@@ -139,7 +139,7 @@ func ExampleOpen() {
 	}
 	fmt.Println("from index:", info.FromIndex, "rebuilt:", info.Rebuilt)
 	read := jem.Record{ID: "r", Seq: genome[3000:8000]}
-	for _, m := range mapper.MapReads([]jem.Record{read}) {
+	for _, m := range mapAll(mapper, []jem.Record{read}) {
 		fmt.Printf("%s %s -> %s\n", m.ReadID, m.End, m.ContigID)
 	}
 	// Output:
@@ -165,7 +165,7 @@ func ExampleOptions_sharded() {
 	}
 	fmt.Println("shards:", mapper.Shards())
 	read := jem.Record{ID: "r", Seq: genome[4000:9000]}
-	for _, m := range mapper.MapReads([]jem.Record{read}) {
+	for _, m := range mapAll(mapper, []jem.Record{read}) {
 		fmt.Printf("%s %s -> %s\n", m.ReadID, m.End, m.ContigID)
 	}
 	// Output:

@@ -122,8 +122,8 @@ func (m *Mapper) SetFrozen(ft *sketch.FrozenTable) {
 }
 
 // Sharded exposes the sharded frozen table, nil unless the mapper
-// serves the sharded backend (SealSharded, SetSharded, or a JEMIDX05
-// index load).
+// serves the sharded backend (SealSharded, SetSharded, or a sharded
+// JEMIDX05/06 index load).
 func (m *Mapper) Sharded() *sketch.ShardedFrozen { return m.sharded }
 
 // Shards returns the number of serving shards: P for a sharded or
@@ -138,10 +138,11 @@ func (m *Mapper) Shards() int {
 	return 1
 }
 
-// IndexBytes returns the approximate resident size of the serving
-// index (the frozen or sharded sketch table's backing arrays), 0 for
-// an unsealed mapper. A serving tier with several indexes resident
-// uses this for per-index memory accounting.
+// IndexBytes returns the approximate total size of the serving index
+// (the frozen or sharded sketch table's backing arrays), 0 for an
+// unsealed mapper. A serving tier with several indexes resident uses
+// this for per-index memory accounting. The total counts resident and
+// mapped bytes alike; IndexMemory splits them.
 func (m *Mapper) IndexBytes() int64 {
 	switch {
 	case m.sharded != nil:
@@ -150,6 +151,20 @@ func (m *Mapper) IndexBytes() int64 {
 		return m.frozen.MemBytes()
 	}
 	return 0
+}
+
+// IndexMemory splits IndexBytes into resident (process-private heap)
+// and mapped (file-backed via mmap, shareable across processes) bytes.
+// A heap-loaded index is all resident; an mmap-served one is all
+// mapped; a budgeted open reports both halves.
+func (m *Mapper) IndexMemory() (resident, mapped int64) {
+	switch {
+	case m.sharded != nil:
+		return m.sharded.ResidentBytes(), m.sharded.MappedBytes()
+	case m.frozen != nil:
+		return m.frozen.ResidentBytes(), m.frozen.MappedBytes()
+	}
+	return 0, 0
 }
 
 // SetSharded installs a sharded frozen table; subsequent lookups
@@ -372,6 +387,13 @@ type Session struct {
 	// set, so untraced runs never pay the clock reads.
 	shardWork  []ShardWork
 	timeShards bool
+
+	// err latches the first serving-integrity failure this session hit —
+	// today, a lazy shard whose fault-in CRC verification failed. The
+	// query that hit it completes degraded (the failed shard contributes
+	// nothing); the latch is how batch drivers surface the corruption
+	// instead of silently serving partial answers.
+	err error
 }
 
 // ShardWork is one shard's cumulative work as seen by one session:
@@ -433,11 +455,12 @@ func (s *Session) context() context.Context {
 	return context.Background()
 }
 
-// LostShards returns the sorted ids of shards whose remote queries
-// failed terminally at any point in this session's lifetime — the
-// per-session degraded-answer record. Queries touching a lost shard
-// completed with the surviving shards' postings only. Always nil on a
-// local (non-remote) mapper.
+// LostShards returns the sorted ids of shards that failed terminally
+// at any point in this session's lifetime — a remote shard whose
+// queries exhausted their retry/hedge budget, or a local lazy shard
+// whose fault-in verification failed — the per-session degraded-answer
+// record. Queries touching a lost shard completed with the surviving
+// shards' postings only.
 func (s *Session) LostShards() []int {
 	if len(s.lostSet) == 0 {
 		return nil
@@ -465,6 +488,20 @@ func (s *Session) Interrupted() bool {
 // postings this session has examined — the dominant unit of query
 // work, surfaced through jem.Stats for serving telemetry.
 func (s *Session) PostingsScanned() int64 { return s.scanned }
+
+// Err returns the first serving-integrity failure this session hit
+// (nil when none): a lazy shard whose fault-in verification failed
+// leaves its sticky error here while the queries that touched it
+// complete without that shard's postings. Batch drivers check it once
+// per session, after the work loop.
+func (s *Session) Err() error { return s.err }
+
+// fail latches the session's first integrity error.
+func (s *Session) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
 
 // EnableShardTiming turns on per-shard wall-clock accumulation for
 // this session's scatter-gather scans. Off by default: a traced
@@ -598,7 +635,23 @@ func (s *Session) scanShardedWords(sf *sketch.ShardedFrozen, words []sketch.Word
 		sd := int(sd32)
 		sc := s.shardCounter(sd)
 		sc.cand = sc.cand[:0]
-		ft := sf.Shard(sd)
+		ft, lerr := sf.ShardChecked(sd)
+		if lerr != nil {
+			// A lazy shard failed its fault-in verification. Latch the
+			// error, drop the shard's probes (clearing any stale posting
+			// lists the offset-vote pass would otherwise reuse), and let
+			// the query complete degraded — same shape as a lost remote
+			// shard.
+			s.fail(lerr)
+			s.noteLostShard(sd)
+			if keepLists {
+				for _, t32 := range s.shardTrials[sd] {
+					s.plists[t32] = nil
+				}
+			}
+			s.shardTrials[sd] = s.shardTrials[sd][:0]
+			continue
+		}
 		var scanned int64
 		for _, t32 := range s.shardTrials[sd] {
 			t := int(t32)
@@ -1071,18 +1124,21 @@ func (m *Mapper) MapReadsTimed(reads []seq.Record, l int, workers int) ([]Result
 // done, workers stop mapping (they drain the remaining work queue
 // without touching it) and the call returns the results of every read
 // completed so far — in deterministic (read, kind) order with cancelled
-// reads simply absent — together with ctx.Err(). A nil error means the
-// full read set was mapped.
+// reads simply absent — together with ctx.Err(). A serving-integrity
+// failure any worker session latched (a lazy shard failing its
+// fault-in verification) is returned ahead of cancellation. A nil
+// error means the full read set was mapped against a healthy index.
 func (m *Mapper) MapReadsContext(ctx context.Context, reads []seq.Record, l int, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([][]Result, len(reads))
+	sessErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	idx := make(chan int, 4*workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			sess := m.NewSession().WithContext(ctx)
 			for i := range idx {
@@ -1091,7 +1147,8 @@ func (m *Mapper) MapReadsContext(ctx context.Context, reads []seq.Record, l int,
 				}
 				out[i] = mapOneRead(sess, int32(i), reads[i].Seq, l)
 			}
-		}()
+			sessErrs[w] = sess.Err()
+		}(w)
 	}
 	for i := range reads {
 		idx <- i
@@ -1101,6 +1158,11 @@ func (m *Mapper) MapReadsContext(ctx context.Context, reads []seq.Record, l int,
 	flat := make([]Result, 0, 2*len(reads))
 	for _, rs := range out {
 		flat = append(flat, rs...)
+	}
+	for _, err := range sessErrs {
+		if err != nil {
+			return flat, err
+		}
 	}
 	return flat, ctx.Err()
 }

@@ -18,11 +18,16 @@ import (
 	"repro/internal/sketch"
 )
 
-// Index format magics. JEMIDX05 is the sharded layout: a CRC-footed
-// manifest (params, subjects, shard directory with per-shard payload
-// lengths and CRC32s) followed by the concatenated per-shard frozen
-// table payloads, so shards verify and decode in parallel and a load
-// can pinpoint WHICH shard is corrupt. JEMIDX04 appends a CRC32 (IEEE)
+// Index format magics. JEMIDX06 is the out-of-core sharded layout: the
+// JEMIDX05-style CRC-footed manifest additionally records a page size
+// and a per-shard absolute file offset, every shard payload is
+// page-aligned and encoded in the flat (offset-table) frozen layout,
+// so shards can be served directly from a read-only mmap of the index
+// file — zero-copy, faulted in per shard, pages shared across
+// processes. JEMIDX05 is the prior sharded layout: the same manifest
+// without offsets, followed by the concatenated per-shard streaming
+// payloads, so shards verify and decode in parallel and a load can
+// pinpoint WHICH shard is corrupt. JEMIDX04 appends a CRC32 (IEEE)
 // footer over everything before it (magic + body), so on-disk
 // corruption — a flipped bit, a truncated tail, a partial overwrite —
 // is detected at load time instead of silently serving wrong mappings.
@@ -30,8 +35,9 @@ import (
 // sealed mapper serializes its frozen sorted-array table directly;
 // JEMIDX02 bodies are the mutable-table encoding with no kind byte.
 // Every older format remains readable (03/02 without checksum
-// protection) and loads as a single-shard index.
+// protection); sealed mappers write JEMIDX06.
 var (
+	indexMagicV6      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '6'}
 	indexMagicV5      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '5'}
 	indexMagic        = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '4'}
 	indexMagicV3      = [8]byte{'J', 'E', 'M', 'I', 'D', 'X', '0', '3'}
@@ -58,15 +64,15 @@ const (
 
 // WriteIndex serializes the mapper — sketch parameters, subject
 // metadata and the ACTIVE sketch table — so an index built once can be
-// reused across runs (jem-mapper -save-index / -load-index). A sharded
-// mapper writes the JEMIDX05 sharded layout (shard payloads encoded in
-// parallel); otherwise the active table is the frozen one when Seal or
-// SetFrozen installed it, and the mutable hash table otherwise, in the
-// JEMIDX04 layout. Both formats are little-endian binary, stable
-// across platforms, and checksum-protected.
+// reused across runs (jem-mapper -save-index / -load-index). A sealed
+// mapper (frozen or sharded table) writes the JEMIDX06 out-of-core
+// layout: page-aligned flat shard payloads a reader can serve straight
+// from a read-only mmap. An unsealed mapper writes its mutable hash
+// table in the JEMIDX04 layout. Both formats are little-endian binary,
+// stable across platforms, and checksum-protected.
 func (m *Mapper) WriteIndex(w io.Writer) error {
-	if m.sharded != nil {
-		return m.writeShardedIndex(w)
+	if m.sharded != nil || m.frozen != nil {
+		return m.writeIndex06(w)
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	// Everything except the footer itself feeds the checksum; the
@@ -132,7 +138,7 @@ func (m *Mapper) writeIndexBody(w io.Writer) error {
 	return m.table.Encode(w)
 }
 
-// writeShardedIndex emits the JEMIDX05 layout:
+// writeShardedIndexV5 emits the JEMIDX05 layout:
 //
 //	magic "JEMIDX05"
 //	manifest: params (6×u64), subjects, shard count (u32),
@@ -143,7 +149,10 @@ func (m *Mapper) writeIndexBody(w io.Writer) error {
 // Shard payloads are encoded concurrently; the manifest's per-shard
 // CRCs let the loader verify and decode shards in parallel and report
 // exactly which shard a corruption hit.
-func (m *Mapper) writeShardedIndex(w io.Writer) error {
+//
+// New indexes are written as JEMIDX06 (writeIndex06); this writer is
+// retained so compatibility tests can produce real V5 files.
+func (m *Mapper) writeShardedIndexV5(w io.Writer) error {
 	sf := m.sharded
 	n := sf.NumShards()
 	payloads := make([][]byte, n)
@@ -249,6 +258,8 @@ func ReadIndexObserved(r io.Reader, sp *obs.Span) (*Mapper, error) {
 		return nil, fmt.Errorf("core: reading index magic: %w", err)
 	}
 	switch magic {
+	case indexMagicV6:
+		return readSharded06(br, sp)
 	case indexMagicV5:
 		return readShardedIndex(br, sp)
 	case indexMagic:
@@ -373,15 +384,22 @@ func readIndexBody(br *bufio.Reader, legacy bool) (*Mapper, error) {
 	return m, nil
 }
 
-// shardedManifest is a decoded, checksum-verified JEMIDX05 manifest:
-// the meta-only mapper carrying params and subjects, the shard
-// directory, and the manifest checksum — which doubles as the index
-// fingerprint a distributed fleet agrees on (see IndexMeta).
+// shardedManifest is a decoded, checksum-verified JEMIDX05/06
+// manifest: the meta-only mapper carrying params and subjects, the
+// shard directory, and the manifest checksum — which doubles as the
+// index fingerprint a distributed fleet agrees on (see IndexMeta).
+// offs, page and end are populated only for JEMIDX06, whose directory
+// carries an absolute file offset per shard so payloads can be
+// addressed in place (offs is nil for V5, where payloads are simply
+// concatenated after the footer).
 type shardedManifest struct {
 	m           *Mapper
 	p           sketch.Params
 	lens        []uint64
 	crcs        []uint32
+	offs        []uint64 // V6 only: absolute file offset per payload
+	page        uint32   // V6 only: payload alignment the writer used
+	end         int64    // V6 only: file offset just past the footer
 	manifestCRC uint32
 }
 
@@ -395,14 +413,32 @@ func (man *shardedManifest) meta() IndexMeta {
 	}
 }
 
-// readShardedManifest decodes a JEMIDX05 manifest after its magic,
-// reading through a checksumming tee and verifying the footer before
-// any directory entry is trusted. On return the stream is positioned
-// at the first shard payload.
-func readShardedManifest(br *bufio.Reader) (*shardedManifest, error) {
+// countingReader counts the bytes consumed from the underlying reader
+// so the manifest reader can report where in the file the manifest
+// ends (the V6 directory offsets are absolute and must land past it).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// readShardedManifest decodes a JEMIDX05 or JEMIDX06 manifest after
+// its magic, reading through a checksumming tee and verifying the
+// footer before any directory entry is trusted. The magic selects the
+// directory shape: V6 adds a payload page size after the shard count
+// and an absolute file offset per shard entry. On return the stream is
+// positioned just past the manifest footer.
+func readShardedManifest(br *bufio.Reader, magic [8]byte) (*shardedManifest, error) {
+	v6 := magic == indexMagicV6
 	h := crc32.NewIEEE()
-	_, _ = h.Write(indexMagicV5[:])
-	tee := io.TeeReader(br, h)
+	_, _ = h.Write(magic[:])
+	cr := &countingReader{r: br}
+	tee := io.TeeReader(cr, h)
 	m, p, err := readIndexMeta(tee)
 	if err != nil {
 		return nil, err
@@ -414,9 +450,27 @@ func readShardedManifest(br *bufio.Reader) (*shardedManifest, error) {
 	if nshards == 0 || nshards > sketch.MaxShards {
 		return nil, fmt.Errorf("core: implausible shard count %d", nshards)
 	}
+	var page uint32
+	if v6 {
+		if err := binary.Read(tee, binary.LittleEndian, &page); err != nil {
+			return nil, fmt.Errorf("core: reading payload page size: %w", err)
+		}
+		if page == 0 || page&(page-1) != 0 || page > 1<<22 {
+			return nil, fmt.Errorf("core: implausible payload page size %d", page)
+		}
+	}
 	lens := make([]uint64, nshards)
 	crcs := make([]uint32, nshards)
+	var offs []uint64
+	if v6 {
+		offs = make([]uint64, nshards)
+	}
 	for i := range lens {
+		if v6 {
+			if err := binary.Read(tee, binary.LittleEndian, &offs[i]); err != nil {
+				return nil, fmt.Errorf("core: reading shard %d directory entry: %w", i, err)
+			}
+		}
 		if err := binary.Read(tee, binary.LittleEndian, &lens[i]); err != nil {
 			return nil, fmt.Errorf("core: reading shard %d directory entry: %w", i, err)
 		}
@@ -429,14 +483,29 @@ func readShardedManifest(br *bufio.Reader) (*shardedManifest, error) {
 	}
 	want := h.Sum32()
 	var footer uint32
-	// The footer is read off br directly: it must not feed the hash.
-	if err := binary.Read(br, binary.LittleEndian, &footer); err != nil {
+	// The footer is read off cr directly: counted, but it must not feed
+	// the hash.
+	if err := binary.Read(cr, binary.LittleEndian, &footer); err != nil {
 		return nil, fmt.Errorf("core: reading manifest checksum: %w", err)
 	}
 	if want != footer {
 		return nil, fmt.Errorf("%w: manifest computed %08x, footer says %08x", ErrIndexChecksum, want, footer)
 	}
-	return &shardedManifest{m: m, p: p, lens: lens, crcs: crcs, manifestCRC: want}, nil
+	man := &shardedManifest{m: m, p: p, lens: lens, crcs: crcs, offs: offs, page: page, manifestCRC: want}
+	if v6 {
+		man.end = 8 + cr.n // magic is consumed before the counter starts
+		prev := uint64(man.end)
+		for i, off := range offs {
+			if off%8 != 0 {
+				return nil, fmt.Errorf("core: shard %d payload offset %d is not 8-aligned", i, off)
+			}
+			if off < prev {
+				return nil, fmt.Errorf("core: shard %d payload offset %d overlaps preceding data ending at %d", i, off, prev)
+			}
+			prev = off + lens[i]
+		}
+	}
+	return man, nil
 }
 
 // readShardedIndex decodes a JEMIDX05 stream after its magic: the
@@ -447,7 +516,7 @@ func readShardedManifest(br *bufio.Reader) (*shardedManifest, error) {
 // ErrIndexChecksum (so load-or-rebuild callers can detect it) and
 // names the shard it hit.
 func readShardedIndex(br *bufio.Reader, sp *obs.Span) (*Mapper, error) {
-	man, err := readShardedManifest(br)
+	man, err := readShardedManifest(br, indexMagicV5)
 	if err != nil {
 		return nil, err
 	}

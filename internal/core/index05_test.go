@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"math/rand"
@@ -31,6 +32,20 @@ func shardedIndexMapper(t *testing.T, p int) (*Mapper, [][]byte) {
 	return m, segs
 }
 
+// parseManifest06 re-reads the manifest of serialized JEMIDX06 bytes,
+// giving corruption tests the directory offsets and the manifest end.
+func parseManifest06(t *testing.T, b []byte) *shardedManifest {
+	t.Helper()
+	if string(b[:8]) != "JEMIDX06" {
+		t.Fatalf("index magic %q, want JEMIDX06", b[:8])
+	}
+	man, err := readShardedManifest(bufio.NewReader(bytes.NewReader(b[8:])), indexMagicV6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
 func TestShardedIndexRoundTrip(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 8} {
 		orig, segs := shardedIndexMapper(t, p)
@@ -38,8 +53,8 @@ func TestShardedIndexRoundTrip(t *testing.T) {
 		if err := orig.WriteIndex(&buf); err != nil {
 			t.Fatal(err)
 		}
-		if got := string(buf.Bytes()[:8]); got != "JEMIDX05" {
-			t.Fatalf("sharded mapper wrote magic %q, want JEMIDX05", got)
+		if got := string(buf.Bytes()[:8]); got != "JEMIDX06" {
+			t.Fatalf("sealed mapper wrote magic %q, want JEMIDX06", got)
 		}
 		loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()))
 		if err != nil {
@@ -53,6 +68,38 @@ func TestShardedIndexRoundTrip(t *testing.T) {
 		}
 		if loaded.NumSubjects() != orig.NumSubjects() {
 			t.Fatalf("p=%d: subjects differ", p)
+		}
+		s1, s2 := orig.NewSession(), loaded.NewSession()
+		for i, seg := range segs {
+			h1, ok1 := s1.MapSegmentPositional(seg)
+			h2, ok2 := s2.MapSegmentPositional(seg)
+			if ok1 != ok2 || h1 != h2 {
+				t.Fatalf("p=%d segment %d: %v,%v != %v,%v", p, i, h1, ok1, h2, ok2)
+			}
+		}
+	}
+}
+
+// TestShardedIndexV5Compat: the retired JEMIDX05 writer still produces
+// files the loader accepts, and they serve identically to the mapper
+// that wrote them — the format-compatibility guarantee for indexes
+// built before the out-of-core layout.
+func TestShardedIndexV5Compat(t *testing.T) {
+	for _, p := range []int{1, 3} {
+		orig, segs := shardedIndexMapper(t, p)
+		var buf bytes.Buffer
+		if err := orig.writeShardedIndexV5(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := string(buf.Bytes()[:8]); got != "JEMIDX05" {
+			t.Fatalf("V5 writer wrote magic %q", got)
+		}
+		loaded, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !loaded.Sealed() || loaded.Shards() != p {
+			t.Fatalf("p=%d: loaded mapper has %d shards, sealed=%v", p, loaded.Shards(), loaded.Sealed())
 		}
 		s1, s2 := orig.NewSession(), loaded.NewSession()
 		for i, seg := range segs {
@@ -101,28 +148,14 @@ func TestShardedIndexCorruptManifest(t *testing.T) {
 	// Either the field-level validation or the manifest checksum may
 	// fire first depending on which byte flips; a flip that survives
 	// field validation MUST be caught by the checksum. Flip a byte in
-	// the shard directory (tail of the manifest) to force that path.
+	// the shard directory (just before the manifest footer) to force
+	// that path.
+	man := parseManifest06(t, buf.Bytes())
 	b = append(b[:0:0], buf.Bytes()...)
-	b[len(b)-int(bytesTrailing(t, orig))-5] ^= 0xff
+	b[man.end-8] ^= 0xff
 	if _, err := ReadIndex(bytes.NewReader(b)); !errors.Is(err, ErrIndexChecksum) {
 		t.Fatalf("directory corruption error = %v, want ErrIndexChecksum", err)
 	}
-}
-
-// bytesTrailing returns the total payload byte count of the mapper's
-// shards — everything after the manifest footer in its JEMIDX05 form.
-func bytesTrailing(t *testing.T, m *Mapper) int64 {
-	t.Helper()
-	var n int64
-	sf := m.Sharded()
-	for i := 0; i < sf.NumShards(); i++ {
-		var b bytes.Buffer
-		if err := sf.Shard(i).Encode(&b); err != nil {
-			t.Fatal(err)
-		}
-		n += int64(b.Len())
-	}
-	return n
 }
 
 func TestShardedIndexCorruptPayload(t *testing.T) {
@@ -132,8 +165,9 @@ func TestShardedIndexCorruptPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := append([]byte(nil), buf.Bytes()...)
-	// Flip a byte in the last shard's payload: the manifest stays
-	// valid, so the per-shard CRC must catch it.
+	// Flip a byte in the last shard's payload (the file ends at the
+	// last payload byte): the manifest stays valid, so the per-shard
+	// CRC must catch it.
 	b[len(b)-3] ^= 0x01
 	_, err := ReadIndex(bytes.NewReader(b))
 	if !errors.Is(err, ErrIndexChecksum) {
@@ -148,10 +182,12 @@ func TestShardedIndexMissingShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// Drop the final shard's bytes entirely (simulates a truncated
-	// copy); the loader must fail with a checksum-class error so
-	// load-or-rebuild callers rebuild.
-	trunc := full[:len(full)-int(bytesTrailing(t, orig))/3]
+	man := parseManifest06(t, full)
+	// Chop the file in the middle of the final shard's payload
+	// (simulates a truncated copy); the loader must fail with a
+	// checksum-class error so load-or-rebuild callers rebuild.
+	last := man.offs[len(man.offs)-1]
+	trunc := full[:int(last)+int(man.lens[len(man.lens)-1])/2]
 	_, err := ReadIndex(bytes.NewReader(trunc))
 	if err == nil {
 		t.Fatal("truncated sharded index loaded")

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this platform can serve an index from
+// a read-only file mapping. Non-unix builds fall back to heap loading;
+// the memory-mode planner records the downgrade in MemoryInfo.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("core: mmap-backed index serving is not supported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can serve an index from
+// a read-only file mapping.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. MAP_SHARED (not
+// PRIVATE) matters twice: fleet members mapping the same index file
+// share one set of physical pages, and on-disk corruption that happens
+// after the open is visible through the mapping — which is exactly
+// what the lazy fault-in CRC verification exists to catch.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: cannot mmap %d bytes", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("core: index size %d exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("core: mmap: %w", err)
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -57,7 +57,7 @@ func (m *Mapper) SetRemote(q ShardQuerier) {
 // Remote returns the installed remote backend, nil for local serving.
 func (m *Mapper) Remote() ShardQuerier { return m.remote }
 
-// IndexMeta identifies a sharded (JEMIDX05) index without its
+// IndexMeta identifies a sharded (JEMIDX05/06) index without its
 // payloads: the shard count, the sketch/subject dimensions, and the
 // manifest checksum — the fingerprint a shard-server fleet and a
 // coordinator must agree on before any query flows.
@@ -68,15 +68,15 @@ type IndexMeta struct {
 	T int
 	// NumSubjects is the subject-id space size.
 	NumSubjects int
-	// ManifestCRC is the JEMIDX05 manifest footer checksum.
+	// ManifestCRC is the manifest footer checksum.
 	ManifestCRC uint32
 }
 
-// ReadIndexMetaFile reads only the manifest of a sharded JEMIDX05
-// index: the returned mapper carries the sketch parameters and
-// subject metadata but NO postings (it must be given a backend with
-// SetRemote before it can serve), and the IndexMeta carries the
-// fingerprint to validate a shard fleet against. Non-JEMIDX05 indexes
+// ReadIndexMetaFile reads only the manifest of a sharded (JEMIDX05 or
+// JEMIDX06) index: the returned mapper carries the sketch parameters
+// and subject metadata but NO postings (it must be given a backend
+// with SetRemote before it can serve), and the IndexMeta carries the
+// fingerprint to validate a shard fleet against. Non-sharded indexes
 // are rejected: remote serving requires the sharded layout.
 func ReadIndexMetaFile(path string) (*Mapper, IndexMeta, error) {
 	f, err := os.Open(path)
@@ -84,11 +84,11 @@ func ReadIndexMetaFile(path string) (*Mapper, IndexMeta, error) {
 		return nil, IndexMeta{}, err
 	}
 	defer func() { _ = f.Close() }()
-	br, err := requireShardedMagic(f, path)
+	br, magic, err := requireShardedMagic(f, path)
 	if err != nil {
 		return nil, IndexMeta{}, err
 	}
-	man, err := readShardedManifest(br)
+	man, err := readShardedManifest(br, magic)
 	if err != nil {
 		return nil, IndexMeta{}, fmt.Errorf("core: index %s: %w", path, err)
 	}
@@ -96,36 +96,50 @@ func ReadIndexMetaFile(path string) (*Mapper, IndexMeta, error) {
 }
 
 // ReadShardSubsetFile loads only the shards selected by keep from a
-// sharded JEMIDX05 index — the shard-server loading path, where each
-// process pays memory for its own shards only. Unselected payloads
-// are skipped without allocation; selected ones are CRC-verified and
-// decoded in parallel exactly like a full load. The returned map is
-// keyed by shard id.
+// sharded (JEMIDX05 or JEMIDX06) index — the shard-server loading
+// path, where each process pays memory for its own shards only.
+// Unselected payloads (and, in V6, the alignment padding between
+// payloads) are skipped without allocation; selected ones are
+// CRC-verified and decoded in parallel exactly like a full load. The
+// returned map is keyed by shard id.
 func ReadShardSubsetFile(path string, keep func(shard int) bool) (map[int]*sketch.FrozenTable, IndexMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, IndexMeta{}, err
 	}
 	defer func() { _ = f.Close() }()
-	br, err := requireShardedMagic(f, path)
+	br, magic, err := requireShardedMagic(f, path)
 	if err != nil {
 		return nil, IndexMeta{}, err
 	}
-	man, err := readShardedManifest(br)
+	man, err := readShardedManifest(br, magic)
 	if err != nil {
 		return nil, IndexMeta{}, fmt.Errorf("core: index %s: %w", path, err)
 	}
 	var kept []int
 	payloads := make(map[int][]byte)
+	pos := man.end // stream position past the manifest (V6 bookkeeping)
 	for i := range man.lens {
+		// V6 payloads are page-aligned; skip the padding gap first.
+		if man.offs != nil {
+			if skip := int64(man.offs[i]) - pos; skip > 0 {
+				if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+					return nil, IndexMeta{}, fmt.Errorf("core: index %s: seeking shard %d payload: %w", path, i, err)
+				}
+				pos += skip
+			}
+		}
 		if !keep(i) {
-			if _, err := io.CopyN(io.Discard, br, int64(man.lens[i])); err != nil {
+			n, err := io.CopyN(io.Discard, br, int64(man.lens[i]))
+			pos += n
+			if err != nil {
 				return nil, IndexMeta{}, fmt.Errorf("core: index %s: skipping shard %d payload: %w", path, i, err)
 			}
 			continue
 		}
 		var buf bytes.Buffer
 		n, err := io.CopyN(&buf, br, int64(man.lens[i]))
+		pos += n
 		if err == io.EOF && n < int64(man.lens[i]) {
 			return nil, IndexMeta{}, fmt.Errorf("core: index %s: shard %d payload truncated (%d of %d bytes): %w (%w)",
 				path, i, n, man.lens[i], errIndexTruncated, ErrIndexChecksum)
@@ -139,12 +153,16 @@ func ReadShardSubsetFile(path string, keep func(shard int) bool) (map[int]*sketc
 	if len(kept) == 0 {
 		return nil, IndexMeta{}, fmt.Errorf("core: index %s: shard selection keeps none of %d shards", path, len(man.lens))
 	}
+	decode := decodeShardPayload
+	if magic == indexMagicV6 {
+		decode = decodeShardPayload06
+	}
 	tables := make(map[int]*sketch.FrozenTable, len(kept))
 	decErrs := make([]error, len(kept))
 	decoded := make([]*sketch.FrozenTable, len(kept))
 	parallel.ForEach(len(kept), 0, func(j int) {
 		i := kept[j]
-		decoded[j], decErrs[j] = decodeShardPayload(i, payloads[i], man.crcs[i])
+		decoded[j], decErrs[j] = decode(i, payloads[i], man.crcs[i])
 	})
 	for j, err := range decErrs {
 		if err != nil {
@@ -155,21 +173,22 @@ func ReadShardSubsetFile(path string, keep func(shard int) bool) (map[int]*sketc
 	return tables, man.meta(), nil
 }
 
-// requireShardedMagic reads the index magic and rejects everything
-// but JEMIDX05: only the sharded layout has a manifest to serve
-// shard subsets and fingerprints from.
-func requireShardedMagic(r io.Reader, path string) (*bufio.Reader, error) {
+// requireShardedMagic reads the index magic and rejects everything but
+// the sharded layouts (JEMIDX05, JEMIDX06): only they have a manifest
+// to serve shard subsets and fingerprints from. The accepted magic is
+// returned so callers can parse the matching directory shape.
+func requireShardedMagic(r io.Reader, path string) (*bufio.Reader, [8]byte, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: index %s: reading magic: %w", path, err)
+		return nil, magic, fmt.Errorf("core: index %s: reading magic: %w", path, err)
 	}
 	switch magic {
-	case indexMagicV5:
-		return br, nil
+	case indexMagicV5, indexMagicV6:
+		return br, magic, nil
 	case indexMagic, indexMagicV3, indexMagicLegacy:
-		return nil, fmt.Errorf("core: index %s: %q is not sharded; distributed serving requires a JEMIDX05 index (rebuild with -shards > 1)", path, magic[:])
+		return nil, magic, fmt.Errorf("core: index %s: %q is not sharded; distributed serving requires a JEMIDX05/06 index (rebuild with -shards > 1)", path, magic[:])
 	default:
-		return nil, fmt.Errorf("core: index %s: not a JEM index (magic %q)", path, magic[:])
+		return nil, magic, fmt.Errorf("core: index %s: not a JEM index (magic %q)", path, magic[:])
 	}
 }

@@ -231,9 +231,9 @@ func TestReadShardSubsetFile(t *testing.T) {
 	}
 }
 
-// TestReadIndexMetaRejectsUnsharded: meta/subset loading requires the
-// JEMIDX05 layout; a JEMIDX04 file is refused with a pointed message,
-// not misparsed.
+// TestReadIndexMetaRejectsUnsharded: meta/subset loading requires a
+// sharded layout (JEMIDX05/06); a mutable-table JEMIDX04 file is
+// refused with a pointed message, not misparsed.
 func TestReadIndexMetaRejectsUnsharded(t *testing.T) {
 	m := buildTinyMapper(t)
 	path := filepath.Join(t.TempDir(), "flat.jem")
@@ -271,8 +271,10 @@ func TestSetRemoteGuards(t *testing.T) {
 	remote.SetRemote(nil)
 }
 
-// buildTinyMapper builds a minimal unsharded sealed mapper for format
-// rejection tests.
+// buildTinyMapper builds a minimal UNSEALED mapper for format
+// rejection tests: a mutable mapper writes the JEMIDX04 layout, the
+// only current format without a shard manifest (sealed mappers write
+// JEMIDX06, which always has one).
 func buildTinyMapper(t *testing.T) *Mapper {
 	t.Helper()
 	rng := rand.New(rand.NewSource(7))
@@ -282,6 +284,5 @@ func buildTinyMapper(t *testing.T) *Mapper {
 		t.Fatal(err)
 	}
 	m.AddSubjects(contigs)
-	m.Seal()
 	return m
 }

@@ -55,6 +55,13 @@ const (
 	// before it is renamed into place — on-disk corruption the JEMIDX04
 	// checksum must catch at load time.
 	IndexByteFlip = "index.byteflip"
+	// IndexFaultinByteFlip simulates a flipped payload byte during the
+	// lazy fault-in CRC verification of a load-on-demand (JEMIDX06)
+	// shard — corruption that happens after the index was opened, which
+	// only the first query against that shard can detect. The mapping
+	// is PROT_READ, so the injector perturbs the computed checksum
+	// rather than the mapped bytes; the effect is identical.
+	IndexFaultinByteFlip = "index.faultin.byteflip"
 )
 
 // Spec configures one armed injection point.
@@ -209,9 +216,13 @@ func Parse(s string) error {
 	return nil
 }
 
-// FlipFileByte flips one bit near the middle of the file at path —
-// the IndexByteFlip corruption. The file size is unchanged, so only a
-// content check (the JEMIDX04 checksum) can notice.
+// FlipFileByte flips one bit of the first nonzero byte at or past the
+// middle of the file at path — the IndexByteFlip corruption. The file
+// size is unchanged, so only a content check (an index checksum) can
+// notice. Zero bytes are skipped because the out-of-core index layout
+// zero-pads between page-aligned payloads, and a flipped pad byte is
+// semantically invisible — not the corruption this fault exists to
+// model.
 func FlipFileByte(path string) (retErr error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -231,8 +242,14 @@ func FlipFileByte(path string) (retErr error) {
 	}
 	off := st.Size() / 2
 	var b [1]byte
-	if _, err := f.ReadAt(b[:], off); err != nil {
-		return err
+	for {
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			return err
+		}
+		if b[0] != 0 || off == st.Size()-1 {
+			break
+		}
+		off++
 	}
 	b[0] ^= 0x01
 	if _, err := f.WriteAt(b[:], off); err != nil {

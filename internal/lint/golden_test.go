@@ -210,7 +210,7 @@ func TestNolintSuppression(t *testing.T) {
 // suppression machinery composes with the new analyzers and that the
 // fixtures' want-counts don't silently absorb a suppressed finding.
 func TestCFGAnalyzerSuppression(t *testing.T) {
-	for _, a := range []*Analyzer{CtxFlow, SpanEnd, GoLeak, DeprecatedAPI} {
+	for _, a := range []*Analyzer{CtxFlow, SpanEnd, GoLeak} {
 		t.Run(a.Name, func(t *testing.T) {
 			res, wants := runFixture(t, []*Analyzer{a}, a.Name)
 			for _, p := range diffFixture(res, wants) {

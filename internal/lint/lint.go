@@ -88,7 +88,6 @@ func All() []*Analyzer {
 		CtxFlow,
 		SpanEnd,
 		GoLeak,
-		DeprecatedAPI,
 	}
 }
 

@@ -153,7 +153,7 @@ func errorReturning(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // isTestFile reports whether pos lies in a _test.go file — several
-// analyzers (ctxflow, goleak, deprecatedapi) deliberately exempt test
+// analyzers (ctxflow, goleak) deliberately exempt test
 // code from production-path invariants.
 func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")

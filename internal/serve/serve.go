@@ -208,11 +208,29 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.adm.InFlight()) })
 	reg.GaugeFunc("jem_serve_queued", "mapping requests waiting for an in-flight slot",
 		func() float64 { return float64(s.adm.Queued()) })
-	reg.GaugeFunc("jem_serve_index_bytes", "resident bytes across all loaded index generations",
+	reg.GaugeFunc("jem_serve_index_bytes", "total index bytes (resident + mapped) across all loaded index generations",
 		func() float64 {
 			var n int64
 			for _, ix := range s.indexes.list() {
 				n += ix.cur.Load().mapper.IndexBytes()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("jem_serve_index_resident_bytes", "process-private heap bytes across all loaded index generations",
+		func() float64 {
+			var n int64
+			for _, ix := range s.indexes.list() {
+				resident, _ := ix.cur.Load().mapper.IndexMemory()
+				n += resident
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("jem_serve_index_mapped_bytes", "file-backed (mmap, shareable) bytes across all loaded index generations",
+		func() float64 {
+			var n int64
+			for _, ix := range s.indexes.list() {
+				_, mapped := ix.cur.Load().mapper.IndexMemory()
+				n += mapped
 			}
 			return float64(n)
 		})
@@ -422,6 +440,11 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		h.Set("X-JEM-Bad-Records", fmt.Sprint(stats.BadRecords))
 		h.Set("X-JEM-Postings-Scanned", fmt.Sprint(stats.PostingsScanned))
 		h.Set("X-JEM-Index-Generation", fmt.Sprint(v.gen))
+		// The heap cost of the index that served this request, after any
+		// lazy fault-ins the request itself triggered (a budgeted mmap
+		// open grows this; a heap index reports its full size).
+		resident, _ := v.mapper.IndexMemory()
+		h.Set("X-JEM-Index-Resident-Bytes", fmt.Sprint(resident))
 		if len(stats.ShardsLost) > 0 {
 			// Degraded answer: the rows are complete but segments whose
 			// probes routed to these shards were mapped without their
@@ -482,6 +505,13 @@ type swapRequest struct {
 	RebuildOnCorrupt bool `json:"rebuild_on_corrupt,omitempty"`
 	// Shards applies to a rebuild (a loaded index keeps its own).
 	Shards int `json:"shards,omitempty"`
+	// Memory selects how the loaded index is held: "heap" (default),
+	// "mmap" (serve straight from the page cache), or "auto" with
+	// MemoryBudget heap bytes (hot shards resident, the rest mapped).
+	// Applies to index_path loads; a rebuild is always heap-resident.
+	Memory string `json:"memory,omitempty"`
+	// MemoryBudget is the heap byte budget for Memory "auto".
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
 	// DrainTimeout bounds the wait for old-generation requests
 	// (Go duration string, default "30s").
 	DrainTimeout string `json:"drain_timeout,omitempty"`
@@ -490,14 +520,21 @@ type swapRequest struct {
 }
 
 type swapResponse struct {
-	Name       string `json:"name"`
-	Generation int64  `json:"generation"`
-	IndexBytes int64  `json:"index_bytes"`
-	Contigs    int    `json:"contigs"`
-	Shards     int    `json:"shards"`
-	Rebuilt    bool   `json:"rebuilt,omitempty"`
-	Drained    bool   `json:"drained"`
-	DrainMs    int64  `json:"drain_ms"`
+	Name          string `json:"name"`
+	Generation    int64  `json:"generation"`
+	IndexBytes    int64  `json:"index_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	MappedBytes   int64  `json:"mapped_bytes"`
+	Contigs       int    `json:"contigs"`
+	Shards        int    `json:"shards"`
+	Rebuilt       bool   `json:"rebuilt,omitempty"`
+	Drained       bool   `json:"drained"`
+	DrainMs       int64  `json:"drain_ms"`
+	// Released reports that the displaced generation's backend
+	// resources (an mmap'd index's file mapping) were closed after the
+	// drain; false when the drain timed out — the old generation still
+	// has requests pinned, so its mapping must stay alive.
+	Released bool `json:"released"`
 }
 
 // handleSwap loads a new index generation and hot-swaps it behind the
@@ -540,6 +577,12 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	opts := jem.DefaultOptions()
 	opts.Metrics = s.reg
 	opts.Shards = req.Shards
+	mode, err := jem.ParseMemoryMode(req.Memory)
+	if err != nil {
+		http.Error(w, "bad memory: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts.Memory = jem.Memory{Mode: mode, Budget: req.MemoryBudget}
 	m, info, err := jem.Open(jem.OpenOptions{
 		Contigs:          contigs,
 		IndexPath:        req.IndexPath,
@@ -552,14 +595,18 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ix, displaced := s.indexes.add(name, m)
+	resident, mapped := m.IndexMemory()
 	resp := swapResponse{
-		Name:       name,
-		Generation: ix.cur.Load().gen,
-		IndexBytes: m.IndexBytes(),
-		Contigs:    m.NumContigs(),
-		Shards:     m.Shards(),
-		Rebuilt:    info.Rebuilt,
-		Drained:    true,
+		Name:          name,
+		Generation:    ix.cur.Load().gen,
+		IndexBytes:    m.IndexBytes(),
+		ResidentBytes: resident,
+		MappedBytes:   mapped,
+		Contigs:       m.NumContigs(),
+		Shards:        m.Shards(),
+		Rebuilt:       info.Rebuilt,
+		Drained:       true,
+		Released:      true,
 	}
 	if displaced != nil {
 		dctx, cancel := context.WithTimeout(r.Context(), drainTimeout)
@@ -567,21 +614,36 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		var waited time.Duration
 		resp.Drained, waited = drain(dctx, displaced)
 		resp.DrainMs = waited.Milliseconds()
+		// Only a fully drained generation can be closed: Close unmaps an
+		// mmap-backed index (and tears down shard-server pools), which
+		// must never happen under a request still pinning the mapper. A
+		// timed-out drain leaves the old generation alive; its memory
+		// stays accounted until its requests finish and GC collects it.
+		resp.Released = resp.Drained
+		if resp.Drained {
+			_ = displaced.mapper.Close()
+		}
 	}
 	s.met.swaps.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// indexInfo is one entry of the GET /v1/indexes listing.
+// indexInfo is one entry of the GET /v1/indexes listing. IndexBytes is
+// the whole index; ResidentBytes/MappedBytes split it into
+// process-private heap and file-backed mapping (a budgeted open's
+// lazy fault-ins move bytes from mapped to resident, so the split is
+// live, not a load-time snapshot).
 type indexInfo struct {
-	Name       string `json:"name"`
-	Generation int64  `json:"generation"`
-	Contigs    int    `json:"contigs"`
-	Shards     int    `json:"shards"`
-	IndexBytes int64  `json:"index_bytes"`
-	InFlight   int64  `json:"inflight"`
-	Served     int64  `json:"served"`
-	Params     struct {
+	Name          string `json:"name"`
+	Generation    int64  `json:"generation"`
+	Contigs       int    `json:"contigs"`
+	Shards        int    `json:"shards"`
+	IndexBytes    int64  `json:"index_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	MappedBytes   int64  `json:"mapped_bytes"`
+	InFlight      int64  `json:"inflight"`
+	Served        int64  `json:"served"`
+	Params        struct {
 		K          int   `json:"k"`
 		W          int   `json:"w"`
 		Trials     int   `json:"trials"`
@@ -593,26 +655,33 @@ type indexInfo struct {
 func (s *Server) handleIndexes(w http.ResponseWriter, _ *http.Request) {
 	list := s.indexes.list()
 	out := struct {
-		Indexes    []indexInfo `json:"indexes"`
-		TotalBytes int64       `json:"total_index_bytes"`
+		Indexes       []indexInfo `json:"indexes"`
+		TotalBytes    int64       `json:"total_index_bytes"`
+		TotalResident int64       `json:"total_resident_bytes"`
+		TotalMapped   int64       `json:"total_mapped_bytes"`
 	}{Indexes: make([]indexInfo, 0, len(list))}
 	for _, ix := range list {
 		v := ix.cur.Load()
 		m := v.mapper
+		resident, mapped := m.IndexMemory()
 		info := indexInfo{
-			Name:       ix.name,
-			Generation: v.gen,
-			Contigs:    m.NumContigs(),
-			Shards:     m.Shards(),
-			IndexBytes: m.IndexBytes(),
-			InFlight:   v.inflight.Load(),
-			Served:     v.served.Load(),
+			Name:          ix.name,
+			Generation:    v.gen,
+			Contigs:       m.NumContigs(),
+			Shards:        m.Shards(),
+			IndexBytes:    m.IndexBytes(),
+			ResidentBytes: resident,
+			MappedBytes:   mapped,
+			InFlight:      v.inflight.Load(),
+			Served:        v.served.Load(),
 		}
 		o := m.Options()
 		info.Params.K, info.Params.W = o.K, o.W
 		info.Params.Trials, info.Params.SegmentLen = o.Trials, o.SegmentLen
 		info.Params.Seed = o.Seed
 		out.TotalBytes += info.IndexBytes
+		out.TotalResident += resident
+		out.TotalMapped += mapped
 		out.Indexes = append(out.Indexes, info)
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -587,5 +588,117 @@ func TestServeGzipBody(t *testing.T) {
 	}
 	if !bytes.Equal(body, w.expectTSV) {
 		t.Error("gzip request output differs from CLI TSV")
+	}
+}
+
+// TestServeMemoryAccounting: the serving tier's out-of-core surface.
+// Swapping in an mmap-held index reports the resident/mapped split in
+// the swap response, /v1/indexes, /metrics and the per-response
+// X-JEM-Index-Resident-Bytes header — and the swapped index still
+// serves byte-identical output. The displaced heap generation drains
+// and is released.
+func TestServeMemoryAccounting(t *testing.T) {
+	w := getWorld(t)
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, serve.Config{Registry: reg})
+
+	mapper, err := jem.NewMapper(w.ds.Contigs, w.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(t.TempDir(), "asm.jemidx")
+	if err := mapper.SaveIndexFile(idxPath); err != nil {
+		t.Fatal(err)
+	}
+
+	reqBody, _ := json.Marshal(map[string]any{"index_path": idxPath, "memory": "mmap"})
+	resp, err := http.Post(ts.URL+"/v1/indexes/asm/swap", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap: status %d: %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		IndexBytes    int64 `json:"index_bytes"`
+		ResidentBytes int64 `json:"resident_bytes"`
+		MappedBytes   int64 `json:"mapped_bytes"`
+		Drained       bool  `json:"drained"`
+		Released      bool  `json:"released"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad swap response %s: %v", body, err)
+	}
+	if sr.MappedBytes <= 0 {
+		t.Errorf("mmap swap reports %d mapped bytes", sr.MappedBytes)
+	}
+	if !sr.Drained || !sr.Released {
+		t.Errorf("displaced generation: drained=%v released=%v, want both", sr.Drained, sr.Released)
+	}
+
+	// The mapped index serves byte-identically and stamps its resident
+	// cost on the response.
+	mresp := postReads(t, ts.URL+"/v1/map/asm", w.fastq)
+	mbody := readBody(t, mresp)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("map after swap: %d: %.200s", mresp.StatusCode, mbody)
+	}
+	if !bytes.Equal(mbody, w.expectTSV) {
+		t.Fatalf("mmap-served response differs from the heap reference (%d vs %d bytes)", len(mbody), len(w.expectTSV))
+	}
+	if h := mresp.Header.Get("X-JEM-Index-Resident-Bytes"); h == "" {
+		t.Error("no X-JEM-Index-Resident-Bytes header")
+	} else if n, err := strconv.ParseInt(h, 10, 64); err != nil || n < 0 {
+		t.Errorf("X-JEM-Index-Resident-Bytes = %q", h)
+	}
+
+	// The listing splits resident vs mapped and totals both.
+	lresp, err := http.Get(ts.URL + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbody := readBody(t, lresp)
+	var listing struct {
+		Indexes []struct {
+			IndexBytes    int64 `json:"index_bytes"`
+			ResidentBytes int64 `json:"resident_bytes"`
+			MappedBytes   int64 `json:"mapped_bytes"`
+		} `json:"indexes"`
+		TotalResident int64 `json:"total_resident_bytes"`
+		TotalMapped   int64 `json:"total_mapped_bytes"`
+	}
+	if err := json.Unmarshal(lbody, &listing); err != nil {
+		t.Fatalf("bad listing %s: %v", lbody, err)
+	}
+	if len(listing.Indexes) != 1 {
+		t.Fatalf("listing has %d indexes", len(listing.Indexes))
+	}
+	ix := listing.Indexes[0]
+	if ix.MappedBytes <= 0 || ix.MappedBytes != listing.TotalMapped || ix.ResidentBytes != listing.TotalResident {
+		t.Errorf("listing split off: %+v totals=%d/%d", ix, listing.TotalResident, listing.TotalMapped)
+	}
+
+	// The split is exported as gauges alongside the total.
+	gresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readBody(t, gresp))
+	for _, want := range []string{"jem_serve_index_resident_bytes", "jem_serve_index_mapped_bytes"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// A bad memory mode is a 400, not a load attempt.
+	reqBody, _ = json.Marshal(map[string]any{"index_path": idxPath, "memory": "balanced"})
+	bresp, err := http.Post(ts.URL+"/v1/indexes/asm/swap", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody := readBody(t, bresp)
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad memory mode: status %d: %.120s", bresp.StatusCode, bbody)
 	}
 }

@@ -20,6 +20,11 @@ import (
 type FrozenTable struct {
 	trials  []frozenBin
 	entries int
+	// mapped marks a zero-copy view whose arrays alias an mmap'd flat
+	// payload (ViewFlatFrozen) rather than heap allocations; it flips
+	// the table's bytes from the resident to the mapped column of the
+	// memory accounting.
+	mapped bool
 }
 
 type frozenBin struct {
@@ -88,6 +93,31 @@ func (ft *FrozenTable) MemBytes() int64 {
 		n += int64(len(b.buckets)) * 4  // int32
 	}
 	return n
+}
+
+// Mapped reports whether this table is a zero-copy view over an
+// mmap'd flat payload (its arrays alias the mapping) rather than a
+// heap-resident decode.
+func (ft *FrozenTable) Mapped() bool { return ft.mapped }
+
+// ResidentBytes returns the part of MemBytes that is private heap
+// memory: the whole table for a decoded one, 0 for a mapped view
+// (whose pages are file-backed, evictable, and shared across
+// processes mapping the same index).
+func (ft *FrozenTable) ResidentBytes() int64 {
+	if ft.mapped {
+		return 0
+	}
+	return ft.MemBytes()
+}
+
+// MappedBytes returns the part of MemBytes that aliases an mmap'd
+// payload: the whole table for a view, 0 for a heap decode.
+func (ft *FrozenTable) MappedBytes() int64 {
+	if !ft.mapped {
+		return 0
+	}
+	return ft.MemBytes()
 }
 
 // Lookup returns the posting list for word w in trial t (nil when

@@ -12,7 +12,7 @@
 //	contigs, _ := jem.ReadSequences("contigs.fasta")
 //	reads, _ := jem.ReadSequences("reads.fastq")
 //	mapper, _ := jem.NewMapper(contigs, jem.DefaultOptions())
-//	mappings := mapper.MapReads(reads)
+//	mappings, _ := mapper.Map(context.Background(), reads, jem.MapOptions{})
 //
 // Sub-APIs expose the rest of the reproduced system: dataset
 // synthesis (Synthesize), the distributed-memory simulation
@@ -73,6 +73,13 @@ type Options struct {
 	// TileStride is the default stride of MapReadTiled in bases; 0
 	// means SegmentLen (non-overlapping tiles).
 	TileStride int
+	// Memory selects how an index loaded through Open(IndexPath) is
+	// held: fully decoded on the heap, served zero-copy from a shared
+	// read-only file mapping, or split between the two under a resident
+	// byte budget. It only affects index loads — a build from contigs is
+	// always heap-resident — and only the JEMIDX06 format can be mapped;
+	// older formats silently take the heap path. See docs/MEMORY.md.
+	Memory Memory
 	// HashOrdering switches the minimizer ordering from the paper's
 	// lexicographic choice to a minimap2-style hash ordering (an
 	// ablation knob; see DESIGN.md §5).
@@ -130,16 +137,17 @@ type Mapper struct {
 	contigs []Record
 	reg     *obs.Registry
 	met     *mapperMetrics
-	// closer releases the remote serving backend (the shardnet
-	// coordinator's connection pools) for a fleet-backed mapper; nil
-	// for local mappers.
+	// closer releases the serving backend's external resources: the
+	// shardnet coordinator's connection pools for a fleet-backed
+	// mapper, the index file mapping for an mmap-served one; nil when
+	// the mapper holds neither.
 	closer io.Closer
 }
 
-// Close releases resources held by the mapper's serving backend. Only
-// a remote mapper (OpenOptions.ShardServers) holds any — its
-// coordinator's connection pools — so Close is a no-op returning nil
-// for local mappers. The mapper must not be queried after Close.
+// Close releases resources held by the mapper's serving backend: a
+// remote mapper's coordinator connection pools, or an mmap-served
+// index's file mapping. It is a no-op returning nil for heap-resident
+// local mappers. The mapper must not be queried after Close.
 func (m *Mapper) Close() error {
 	if m.closer != nil {
 		return m.closer.Close()
@@ -190,17 +198,18 @@ func NewMapper(contigs []Record, opts Options) (*Mapper, error) {
 
 // Shards returns the number of serving shards of the underlying
 // sketch index: Options.Shards for a sharded build, the on-disk shard
-// count for a loaded JEMIDX05 index, 1 for the unsharded backend.
+// count for a loaded JEMIDX05/06 index, 1 for the unsharded backend.
 func (m *Mapper) Shards() int { return m.core.Shards() }
 
 // Options returns the mapper's configuration.
 func (m *Mapper) Options() Options { return m.opts }
 
-// IndexBytes returns the approximate resident size of the sealed
-// sketch index in bytes (the frozen table's backing arrays; struct
-// headers and allocator slack are not charged). A serving tier
-// holding several reference indexes open at once uses this for
-// per-index memory accounting (GET /v1/indexes in jem-serve).
+// IndexBytes returns the approximate total size of the sealed sketch
+// index in bytes (the frozen table's backing arrays; struct headers
+// and allocator slack are not charged), counting resident and mapped
+// bytes alike — IndexMemory splits them. A serving tier holding
+// several reference indexes open at once uses this for per-index
+// memory accounting (GET /v1/indexes in jem-serve).
 func (m *Mapper) IndexBytes() int64 { return m.core.IndexBytes() }
 
 // NumContigs returns the number of indexed contigs.
@@ -229,8 +238,11 @@ func (o MapOptions) validate() error {
 //
 // When ctx is cancelled the workers stop early and the call returns
 // the mappings of every read completed so far together with ctx.Err();
-// a nil error means the full read set was mapped. The deprecated
-// MapReads/MapReadsContext wrappers delegate here.
+// a nil error means the full read set was mapped. A non-cancellation
+// error means the serving index degraded mid-batch (a load-on-demand
+// shard of a budgeted open failed its fault-in verification); the
+// returned mappings are still well-formed but computed without the
+// lost shard's postings.
 func (m *Mapper) Map(ctx context.Context, reads []Record, opts MapOptions) ([]Mapping, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -246,27 +258,6 @@ func (m *Mapper) Map(ctx context.Context, reads []Record, opts MapOptions) ([]Ma
 	}
 	results, err := m.core.MapReadsContext(ctx, reads, m.opts.SegmentLen, workers)
 	return m.convert(results, reads), err
-}
-
-// MapReads maps both end segments of every read with the mapper's
-// construction-time settings.
-//
-// Deprecated: use Map, the context-first canonical form. MapReads is
-// Map with a background context and zero MapOptions, discarding the
-// error (which a background context never produces).
-//
-//jem:detached compatibility wrapper: callers predate context threading
-func (m *Mapper) MapReads(reads []Record) []Mapping {
-	mappings, _ := m.Map(context.Background(), reads, MapOptions{})
-	return mappings
-}
-
-// MapReadsContext is MapReads under a cancellable context.
-//
-// Deprecated: use Map, which takes the context first and a MapOptions
-// struct; this wrapper is Map with zero MapOptions.
-func (m *Mapper) MapReadsContext(ctx context.Context, reads []Record) ([]Mapping, error) {
-	return m.Map(ctx, reads, MapOptions{})
 }
 
 func (m *Mapper) convert(results []core.Result, reads []Record) []Mapping {
@@ -333,7 +324,7 @@ func LoadMapperObserved(r io.Reader, contigs []Record, reg *obs.Registry) (*Mapp
 	}
 	sp := reg.Tracer().Start("index.load")
 	rd := sp.Child("read")
-	// A sharded (JEMIDX05) index decodes its shards in parallel, one
+	// A sharded (JEMIDX05/06) index decodes its shards in parallel, one
 	// child span per shard under "read".
 	cm, err := core.ReadIndexObserved(r, rd)
 	rd.End()
@@ -439,7 +430,7 @@ func (m *Mapper) TopHits(segment []byte, k int) []Mapping {
 const tsvHeader = "read_id\tend\tcontig_id\tshared_trials\n"
 
 // appendTSVRow renders one mapping as a TSV row into b — the
-// allocation-free formatter shared by WriteTSV and the MapStream
+// allocation-free formatter shared by WriteTSV and the Stream
 // writer hot loop (fmt.Fprintf there cost ~2 allocations per row).
 //
 //jem:hotpath

@@ -35,7 +35,7 @@ func TestEndToEndQuality(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewMapper: %v", err)
 	}
-	mappings := mapper.MapReads(ds.Reads)
+	mappings := mapAll(mapper, ds.Reads)
 	if len(mappings) == 0 {
 		t.Fatal("no mappings produced")
 	}

@@ -76,7 +76,7 @@ func TestSynthesizeDiploid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := bench.Evaluate(mapper.MapReads(ds.Reads))
+	q := bench.Evaluate(mapAll(mapper, ds.Reads))
 	t.Logf("diploid dataset: %d contigs, %d reads, precision %.4f recall %.4f",
 		len(ds.Contigs), len(ds.Reads), q.Precision, q.Recall)
 	if q.Precision < 0.85 || q.Recall < 0.8 {
@@ -91,7 +91,7 @@ func TestDistributedMatchesShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared := mapper.MapReads(ds.Reads)
+	shared := mapAll(mapper, ds.Reads)
 	for _, p := range []int{1, 3, 8} {
 		out, err := jem.MapDistributed(ds.Contigs, ds.Reads, p, opts)
 		if err != nil {
@@ -226,7 +226,7 @@ func TestScaffoldsFromMappings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mappings := mapper.MapReads(ds.Reads)
+	mappings := mapAll(mapper, ds.Reads)
 	scaffolds := jem.BuildScaffolds(mappings, len(ds.Contigs), 1)
 	if len(scaffolds) == 0 {
 		t.Fatal("no scaffolds built")
@@ -302,7 +302,7 @@ func TestPercentIdentityOfMappedPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mappings := mapper.MapReads(ds.Reads)
+	mappings := mapAll(mapper, ds.Reads)
 	checked := 0
 	for _, m := range mappings {
 		if !m.Mapped || checked >= 5 {

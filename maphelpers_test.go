@@ -1,0 +1,26 @@
+package jem_test
+
+import (
+	"context"
+	"io"
+
+	"repro"
+)
+
+// mapAll and streamAll are the test-side shims for the removed
+// MapReads/MapStream compatibility wrappers: the canonical Map/Stream
+// entry points under a background context with zero options. A local
+// heap-resident mapper cannot fail under a background context, so the
+// panic is unreachable in the tests that use these.
+
+func mapAll(m *jem.Mapper, reads []jem.Record) []jem.Mapping {
+	mappings, err := m.Map(context.Background(), reads, jem.MapOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return mappings
+}
+
+func streamAll(m *jem.Mapper, r io.Reader, w io.Writer) (jem.Stats, error) {
+	return m.Stream(context.Background(), r, w, jem.StreamOptions{})
+}

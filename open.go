@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/minimizer"
@@ -63,6 +62,11 @@ type OpenInfo struct {
 	// Rebuilt. Callers typically surface it as a warning: the corrupt
 	// file still exists and should not be served or trusted.
 	IndexErr error
+	// Memory reports what the open did with memory: the per-shard
+	// residency and the open-time resident/mapped byte split (see
+	// Options.Memory). Builds, rebuilds and pre-JEMIDX06 loads report
+	// MemoryHeap; a remote mapper reports no local shards.
+	Memory MemoryInfo
 }
 
 // Open constructs a Mapper by whichever path the options select:
@@ -92,12 +96,20 @@ func Open(opts OpenOptions) (*Mapper, OpenInfo, error) {
 		}
 		info.FromIndex = true
 		info.Remote = true
+		info.Memory = heapMemoryInfo(m)
 		return m, info, nil
 	}
 	if opts.IndexPath != "" {
-		m, err := openIndexFile(opts)
+		// The build paths validate the full Options inside NewMapper; a
+		// pure load takes its sketch parameters from the index, so only
+		// the serving-side Memory spec needs checking here.
+		if err := opts.Options.Memory.validate(); err != nil {
+			return nil, info, err
+		}
+		m, mem, err := openIndexFile(opts)
 		if err == nil {
 			info.FromIndex = true
+			info.Memory = mem
 			return m, info, nil
 		}
 		if !opts.RebuildOnCorrupt || opts.Contigs == nil || !errors.Is(err, ErrIndexChecksum) {
@@ -112,6 +124,7 @@ func Open(opts OpenOptions) (*Mapper, OpenInfo, error) {
 	if err != nil {
 		return nil, OpenInfo{}, err
 	}
+	info.Memory = heapMemoryInfo(m)
 	return m, info, nil
 }
 
@@ -163,19 +176,42 @@ func openRemote(opts OpenOptions) (*Mapper, error) {
 	return &Mapper{opts: o, core: cm, contigs: opts.Contigs, reg: reg, met: met, closer: coord}, nil
 }
 
-// openIndexFile loads the index file and adopts the caller's serving
-// knobs (the index stores sketch parameters, not serving preferences).
-func openIndexFile(opts OpenOptions) (*Mapper, error) {
-	f, err := os.Open(opts.IndexPath)
-	if err != nil {
-		return nil, err
+// openIndexFile loads the index file honoring the Memory spec and
+// adopts the caller's serving knobs (the index stores sketch
+// parameters, not serving preferences). A JEMIDX06 file under
+// MemoryMMap or MemoryAuto is served from a read-only file mapping
+// (owned by the returned mapper — released by Mapper.Close); anything
+// else decodes onto the heap.
+func openIndexFile(opts OpenOptions) (*Mapper, MemoryInfo, error) {
+	reg := opts.Options.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	defer f.Close() // read-only handle; decode errors carry the signal
-	m, err := LoadMapperObserved(f, opts.Contigs, opts.Options.Metrics)
+	sp := reg.Tracer().Start("index.load")
+	rd := sp.Child("read")
+	cm, ci, closer, err := core.OpenIndexFileObserved(opts.IndexPath, opts.Options.Memory.spec(), rd)
+	rd.End()
 	if err != nil {
-		return nil, fmt.Errorf("jem: index %s: %w", opts.IndexPath, err)
+		sp.End()
+		return nil, MemoryInfo{}, fmt.Errorf("jem: loading index: %w", err)
 	}
-	m.opts.Workers = opts.Options.Workers
-	m.opts.TileStride = opts.Options.TileStride
-	return m, nil
+	// Mapped loads arrive sealed; legacy mutable-table formats freeze
+	// here so serving always takes the frozen path.
+	sp.Time("freeze", func() { cm.Seal() })
+	sp.End()
+	met := newMapperMetrics(reg, cm)
+	p := cm.Sketcher().Params()
+	o := Options{
+		K: p.K, W: p.W, Trials: p.T, SegmentLen: p.L, Seed: p.Seed,
+		HashOrdering: p.Order == minimizer.OrderHash,
+		Metrics:      reg,
+		Workers:      opts.Options.Workers,
+		TileStride:   opts.Options.TileStride,
+		Memory:       opts.Options.Memory,
+	}
+	if sh := cm.Shards(); sh > 1 {
+		o.Shards = sh
+	}
+	m := &Mapper{opts: o, core: cm, contigs: opts.Contigs, reg: reg, met: met, closer: closer}
+	return m, memInfoFromCore(opts.Options.Memory.Mode, ci), nil
 }

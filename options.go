@@ -55,6 +55,9 @@ func (o Options) Validate() error {
 	if o.Shards < 0 || o.Shards > sketch.MaxShards {
 		return optErr("Shards", o.Shards, fmt.Sprintf("must be in [0,%d] (0 and 1 mean unsharded)", sketch.MaxShards))
 	}
+	if err := o.Memory.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 

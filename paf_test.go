@@ -21,7 +21,7 @@ func TestMapReadsPositionalAndPAF(t *testing.T) {
 		t.Fatal("no positional mappings")
 	}
 	// Positional best hits agree with the plain path.
-	plain := mapper.MapReads(ds.Reads)
+	plain := mapAll(mapper, ds.Reads)
 	if len(plain) != len(pms) {
 		t.Fatalf("lengths differ: %d vs %d", len(plain), len(pms))
 	}
@@ -198,7 +198,7 @@ func TestHybridWorkflowImprovesContiguity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mappings := mapper.MapReads(ds.Reads)
+	mappings := mapAll(mapper, ds.Reads)
 	scaffolds := jem.BuildScaffolds(mappings, len(ds.Contigs), 2)
 
 	n50 := func(lens []int) int {

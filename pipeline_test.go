@@ -51,7 +51,7 @@ func TestFilePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mappings := mapper.MapReads(reads)
+	mappings := mapAll(mapper, reads)
 
 	// Index round trip through a file.
 	idxPath := filepath.Join(dir, "contigs.jemidx")
@@ -74,7 +74,7 @@ func TestFilePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reloadedMappings := loaded.MapReads(reads)
+	reloadedMappings := mapAll(loaded, reads)
 	if !reflect.DeepEqual(mappings, reloadedMappings) {
 		t.Fatal("index-loaded mapper maps differently")
 	}

@@ -60,7 +60,7 @@ func TestMapStreamContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(ctx, bytes.NewReader(reads), &out, jem.StreamOptions{})
+	stats, err := mapper.Stream(ctx, bytes.NewReader(reads), &out, jem.StreamOptions{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -97,7 +97,7 @@ func TestMapStreamContextCancelMidStream(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(ctx,
+	stats, err := mapper.Stream(ctx,
 		&cancelAfterReader{r: bytes.NewReader(reads), n: 1, cancel: cancel},
 		&out, jem.StreamOptions{})
 	if !errors.Is(err, context.Canceled) {
@@ -147,7 +147,7 @@ func TestMapStreamSkipPolicy(t *testing.T) {
 	mapper, ds, _ := streamMapper(t)
 	in := badRecordInput(ds.Reads)
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+	stats, err := mapper.Stream(context.Background(), bytes.NewReader(in), &out,
 		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip})
 	if err != nil {
 		t.Fatalf("skip policy failed the run: %v", err)
@@ -165,7 +165,7 @@ func TestMapStreamSkipPolicy(t *testing.T) {
 		t.Errorf("wrote %d rows, want %d", rows, 2*len(ds.Reads))
 	}
 	// The same input under the default fail policy must abort.
-	if _, err := mapper.MapStream(bytes.NewReader(in), io.Discard); err == nil {
+	if _, err := streamAll(mapper, bytes.NewReader(in), io.Discard); err == nil {
 		t.Error("fail policy accepted a malformed record")
 	}
 }
@@ -176,7 +176,7 @@ func TestMapStreamQuarantinePolicy(t *testing.T) {
 	mapper, ds, _ := streamMapper(t)
 	in := badRecordInput(ds.Reads)
 	var out, sidecar bytes.Buffer
-	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+	stats, err := mapper.Stream(context.Background(), bytes.NewReader(in), &out,
 		jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &sidecar})
 	if err != nil {
 		t.Fatalf("quarantine policy failed the run: %v", err)
@@ -220,7 +220,7 @@ func TestMapStreamMaxRecordLen(t *testing.T) {
 	}
 	limit-- // exactly the longest read(s) become bad
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), &out,
+	stats, err := mapper.Stream(context.Background(), bytes.NewReader(reads), &out,
 		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip, MaxRecordLen: limit})
 	if err != nil {
 		t.Fatalf("skip policy: %v", err)
@@ -231,7 +231,7 @@ func TestMapStreamMaxRecordLen(t *testing.T) {
 	if stats.Reads+stats.BadRecords != len(ds.Reads) {
 		t.Errorf("reads %d + bad %d != total %d", stats.Reads, stats.BadRecords, len(ds.Reads))
 	}
-	if _, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), io.Discard,
+	if _, err := mapper.Stream(context.Background(), bytes.NewReader(reads), io.Discard,
 		jem.StreamOptions{MaxRecordLen: limit}); err == nil {
 		t.Error("fail policy accepted an over-length record")
 	}
@@ -245,7 +245,7 @@ func TestMapStreamWorkerPanicFailPolicy(t *testing.T) {
 	mapper, _, reads := streamMapper(t)
 	fault.Set(fault.WorkerPanic, fault.Spec{Times: 1})
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	stats, err := streamAll(mapper, bytes.NewReader(reads), &out)
 	if err == nil {
 		t.Fatal("worker panic did not fail the run")
 	}
@@ -265,7 +265,7 @@ func TestMapStreamWorkerPanicSkipPolicy(t *testing.T) {
 	mapper, ds, reads := streamMapper(t)
 	fault.Set(fault.WorkerPanic, fault.Spec{Times: 1})
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(reads), &out,
+	stats, err := mapper.Stream(context.Background(), bytes.NewReader(reads), &out,
 		jem.StreamOptions{OnBadRecord: jem.BadRecordSkip})
 	if err != nil {
 		t.Fatalf("skip policy surfaced the batch error: %v", err)
@@ -294,7 +294,7 @@ func TestMapStreamInjectedENOSPC(t *testing.T) {
 	// Let the header and two rows through, then every write fails.
 	fault.Set(fault.WriterENOSPC, fault.Spec{After: 3})
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	stats, err := streamAll(mapper, bytes.NewReader(reads), &out)
 	if !errors.Is(err, syscall.ENOSPC) {
 		t.Fatalf("err = %v, want ENOSPC", err)
 	}
@@ -314,7 +314,7 @@ func TestMapStreamInjectedReaderError(t *testing.T) {
 	mapper, _, reads := streamMapper(t)
 	fault.Set(fault.ReaderErr, fault.Spec{After: 1})
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(bytes.NewReader(reads), &out)
+	stats, err := streamAll(mapper, bytes.NewReader(reads), &out)
 	if !errors.Is(err, fault.ErrInjectedRead) {
 		t.Fatalf("err = %v, want ErrInjectedRead", err)
 	}
@@ -332,7 +332,7 @@ func TestMapStreamQuarantineSidecarWriteError(t *testing.T) {
 	in := badRecordInput(ds.Reads)
 	boom := errors.New("sidecar disk gone")
 	var out bytes.Buffer
-	stats, err := mapper.MapStreamContext(context.Background(), bytes.NewReader(in), &out,
+	stats, err := mapper.Stream(context.Background(), bytes.NewReader(in), &out,
 		jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &failAfterWriter{n: 0, err: boom}})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the sidecar write error", err)

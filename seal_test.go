@@ -24,7 +24,7 @@ func TestSealedFacadeMatchesUnsealedCoreTSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sealedTSV bytes.Buffer
-	if err := jem.WriteTSV(&sealedTSV, mapper.MapReads(ds.Reads)); err != nil {
+	if err := jem.WriteTSV(&sealedTSV, mapAll(mapper, ds.Reads)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -16,7 +16,7 @@ import (
 	"repro/internal/seq"
 )
 
-// Stats is a snapshot of the per-phase counters of one MapStream run:
+// Stats is a snapshot of the per-phase counters of one Stream run:
 // how much came in, how much work the sketch-table lookups did, and
 // where the wall time went. Phases overlap (the stream is pipelined),
 // so the wall times measure work inside each phase, not elapsed
@@ -50,13 +50,16 @@ type Stats struct {
 	// PostingsScanned is the total number of sketch-table postings
 	// examined across all lookups — the dominant unit of query work.
 	PostingsScanned int64
-	// ShardsLost, non-nil only when mapping through a remote shard
-	// fleet (OpenOptions.ShardServers), is the sorted set of shard ids
-	// that failed terminally during the run. A non-empty value marks
-	// the output as a degraded answer: every row was produced, but
-	// segments whose probes routed to a lost shard were mapped without
-	// that shard's postings (see docs/DISTRIBUTED.md). jem-serve
-	// surfaces it as the X-JEM-Shards-Lost response header.
+	// ShardsLost is the sorted set of shard ids that failed terminally
+	// during the run: shards of a remote fleet
+	// (OpenOptions.ShardServers) whose query budget was exhausted, or
+	// load-on-demand shards of a memory-budgeted open
+	// (Options.Memory) whose fault-in verification failed. A non-empty
+	// value marks the output as a degraded answer: every row was
+	// produced, but segments whose probes routed to a lost shard were
+	// mapped without that shard's postings (see docs/DISTRIBUTED.md
+	// and docs/MEMORY.md). jem-serve surfaces it as the
+	// X-JEM-Shards-Lost response header.
 	ShardsLost []int
 	// ReadWall is time spent parsing FASTA/FASTQ records.
 	ReadWall time.Duration
@@ -110,9 +113,9 @@ func (p BadRecordPolicy) String() string {
 	}
 }
 
-// StreamOptions configures one Mapper.Stream call. The zero value
-// reproduces the historical MapStream behavior: the mapper's Workers
-// setting, fail on the first bad record, no length limit, no sidecar.
+// StreamOptions configures one Mapper.Stream call. The zero value is
+// the historical default: the mapper's Workers setting, fail on the
+// first bad record, no length limit, no sidecar.
 type StreamOptions struct {
 	// Workers overrides the mapper's Workers setting for this stream;
 	// 0 keeps it.
@@ -182,33 +185,13 @@ func (q *quarantineSidecar) record(line int, id string, cause error) {
 	}
 }
 
-// MapStream maps long reads from a FASTA/FASTQ stream without loading
-// the whole file.
-//
-// Deprecated: use Stream, the context-first canonical form. MapStream
-// is Stream with a background context and zero StreamOptions.
-//
-//jem:detached compatibility wrapper: callers predate context threading
-func (m *Mapper) MapStream(r io.Reader, w io.Writer) (Stats, error) {
-	return m.Stream(context.Background(), r, w, StreamOptions{})
-}
-
-// MapStreamContext maps a FASTA/FASTQ stream under a cancellable
-// context with explicit stream options.
-//
-// Deprecated: use Stream, which it now delegates to; the two differ
-// only in name.
-func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (Stats, error) {
-	return m.Stream(ctx, r, w, opts)
-}
-
 // Stream is the canonical streaming entry point: it maps long reads
 // from a FASTA/FASTQ stream without loading the whole file. The
 // stream is pipelined: a reader goroutine
 // batches records, a worker pool maps batches concurrently with
 // persistent per-worker sessions, and the calling goroutine writes TSV
 // rows in input order as batches complete. It is the memory-bounded
-// counterpart of MapReads for production-sized read sets (the contig
+// counterpart of Map for production-sized read sets (the contig
 // index still lives in memory, as in the paper).
 //
 // Robustness contracts:
@@ -234,6 +217,12 @@ func (m *Mapper) MapStreamContext(ctx context.Context, r io.Reader, w io.Writer,
 //   - A write error stops output but not accounting: the pipeline
 //     still drains and counts every batch that was mapped, so Stats
 //     reflects the work actually done.
+//   - Index degradation: when a load-on-demand shard of a budgeted
+//     open (Options.Memory) fails its fault-in verification, the
+//     stream completes on the surviving shards — rows stay well-formed
+//     but were mapped without the lost shard's postings — and the
+//     first such error is returned after lower-level errors (write,
+//     batch, read) have had their say.
 //
 // Counters and wall times are recorded into the mapper's obs.Registry
 // (see Metrics) and, independently, into this run's own accumulators;
@@ -253,6 +242,7 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 	var (
 		shardMu  sync.Mutex
 		shardAgg []core.ShardWork
+		indexErr error
 	)
 	// Fault-injection points (no-ops unless a test armed them).
 	r = fault.Reader(r)
@@ -360,11 +350,14 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 				run.addMapWall(mapWall)
 				run.addPostings(sess.PostingsScanned())
 				run.addLostShards(sess.LostShards())
-				if sp != nil {
-					shardMu.Lock()
-					shardAgg = mergeShardWork(shardAgg, sess.ShardWork())
-					shardMu.Unlock()
+				shardMu.Lock()
+				if serr := sess.Err(); serr != nil && indexErr == nil {
+					indexErr = serr
 				}
+				if sp != nil {
+					shardAgg = mergeShardWork(shardAgg, sess.ShardWork())
+				}
+				shardMu.Unlock()
 			}()
 			for item := range work {
 				t0 := time.Now()
@@ -394,6 +387,8 @@ func (m *Mapper) Stream(ctx context.Context, r io.Reader, w io.Writer, opts Stre
 		return stats, batchErr
 	case readErr != nil:
 		return stats, readErr
+	case indexErr != nil:
+		return stats, indexErr
 	case sidecar.err != nil:
 		return stats, fmt.Errorf("jem: quarantine sidecar write failed: %w", sidecar.err)
 	}
@@ -433,7 +428,7 @@ func (m *Mapper) mapStreamBatch(run *runScope, sess *core.Session, item streamWo
 	return streamResult{seq: item.seq, mappings: out}
 }
 
-// drainStreamResults is MapStream's writer stage (run on the calling
+// drainStreamResults is Stream's writer stage (run on the calling
 // goroutine): reassemble input order and emit TSV rows. The results
 // channel is always drained fully, even after a write or batch error,
 // so the pipeline goroutines never leak; the first write error (and,

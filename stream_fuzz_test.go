@@ -43,13 +43,13 @@ func FuzzMapStream(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := fuzzStreamMapper()
 		// Fail policy: any error is acceptable, panics are not.
-		if _, err := m.MapStream(bytes.NewReader(data), io.Discard); err != nil {
+		if _, err := streamAll(m, bytes.NewReader(data), io.Discard); err != nil {
 			_ = err.Error() // errors must render
 		}
 		// Quarantine policy over in-memory input: the stream must always
 		// reach EOF — structural damage is never fatal here.
 		var sidecar bytes.Buffer
-		stats, err := m.MapStreamContext(context.Background(), bytes.NewReader(data), io.Discard,
+		stats, err := m.Stream(context.Background(), bytes.NewReader(data), io.Discard,
 			jem.StreamOptions{OnBadRecord: jem.BadRecordQuarantine, Quarantine: &sidecar, MaxRecordLen: 1 << 16})
 		if err != nil {
 			t.Fatalf("quarantine policy failed on in-memory input: %v\ninput: %q", err, data)

@@ -27,7 +27,7 @@ func TestMapStreamStatsMatchRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(&reads, &out)
+	stats, err := streamAll(mapper, &reads, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestMapStreamStatsMatchRegistry(t *testing.T) {
 	if err := writeFASTQ(&reads2, ds.Reads); err != nil {
 		t.Fatal(err)
 	}
-	stats2, err := mapper.MapStream(&reads2, &out2)
+	stats2, err := streamAll(mapper, &reads2, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestMapStreamServedLive(t *testing.T) {
 	if err := writeFASTQ(&reads, ds.Reads); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := mapper.MapStream(&reads, &out)
+	stats, err := streamAll(mapper, &reads, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

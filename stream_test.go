@@ -24,7 +24,7 @@ func TestMapStreamMatchesMapReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(&reads, &out)
+	stats, err := streamAll(mapper, &reads, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestMapStreamMatchesMapReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := mapper.MapReads(ds.Reads)
+	want := mapAll(mapper, ds.Reads)
 	if !reflect.DeepEqual(parsed, want) {
 		t.Error("streamed mappings differ from in-memory mappings")
 	}
@@ -88,7 +88,7 @@ func TestMapStreamFlushesOnReaderError(t *testing.T) {
 	}
 	boom := errors.New("stream died mid-flight")
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(&errAfterReader{payload: &reads, err: boom}, &out)
+	stats, err := streamAll(mapper, &errAfterReader{payload: &reads, err: boom}, &out)
 	if err == nil {
 		t.Fatal("reader error was swallowed")
 	}
@@ -110,7 +110,7 @@ func TestMapStreamFlushesOnReaderError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := mapper.MapReads(ds.Reads); !reflect.DeepEqual(parsed, want) {
+	if want := mapAll(mapper, ds.Reads); !reflect.DeepEqual(parsed, want) {
 		t.Error("pre-error mappings differ from in-memory mappings")
 	}
 }
@@ -147,7 +147,7 @@ func TestMapStreamCountsAfterWriteError(t *testing.T) {
 	}
 	boom := errors.New("disk full")
 	// Allow the header and the first row, then fail.
-	stats, err := mapper.MapStream(&reads, &failAfterWriter{n: 2, err: boom})
+	stats, err := streamAll(mapper, &reads, &failAfterWriter{n: 2, err: boom})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the write error", err)
 	}
@@ -158,7 +158,7 @@ func TestMapStreamCountsAfterWriteError(t *testing.T) {
 		t.Errorf("stats.Segments = %d, want %d (write errors must not drop accounting)", stats.Segments, want)
 	}
 	mappedWant := 0
-	for _, m := range mapper.MapReads(ds.Reads) {
+	for _, m := range mapAll(mapper, ds.Reads) {
 		if m.Mapped {
 			mappedWant++
 		}
@@ -175,7 +175,7 @@ func TestMapStreamEmptyInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	stats, err := mapper.MapStream(bytes.NewReader(nil), &out)
+	stats, err := streamAll(mapper, bytes.NewReader(nil), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestMapStreamMalformedInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if _, err := mapper.MapStream(bytes.NewReader([]byte("@broken\nACGT\nIIII\n")), &out); err == nil {
+	if _, err := streamAll(mapper, bytes.NewReader([]byte("@broken\nACGT\nIIII\n")), &out); err == nil {
 		t.Error("malformed FASTQ should fail")
 	}
 }

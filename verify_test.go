@@ -21,7 +21,7 @@ func TestMapReadsVerified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plainQ := bench.Evaluate(mapper.MapReads(ds.Reads))
+	plainQ := bench.Evaluate(mapAll(mapper, ds.Reads))
 
 	mappings := make([]jem.Mapping, len(vms))
 	mapped := 0
